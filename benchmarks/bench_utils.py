@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The figure reproductions are full simulations taking tens of seconds;
+    re-running them for statistical timing would multiply the harness run
+    time for no benefit, so every benchmark uses a single round.
+    """
+
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.experiments.runner.ExperimentRunner` is shared by every
+benchmark module in the session.  Figures 10-15 all plot the same underlying
+(workload × configuration) runs, so the first module to execute pays for the
+simulations and the rest replay them from the run cache; the format-study,
+ablation and multiprogrammed benchmarks add their own runs on top.
+
+Each benchmark prints the reproduced figure as a text table — the same rows
+and series the paper plots — and asserts the *shape* relationships the paper
+reports (who wins, roughly by how much), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The shared full-scale experiment runner."""
+
+    return ExperimentRunner()

@@ -1,0 +1,26 @@
+"""Table 2: the core and memory configuration used for the experiments."""
+
+from bench_utils import run_once
+
+from repro.experiments import figures
+from repro.sim.config import SystemConfig
+
+
+def test_table_2_paper_configuration(benchmark):
+    result = run_once(benchmark, figures.table_2_system_config, SystemConfig.paper())
+    print()
+    print(result.rendered)
+
+    description = result.extras["description"]
+    assert "64 KiB" in description["L1 DCache"]
+    assert "512 KiB" in description["L2 Cache"]
+    assert "2048 KiB" in description["L3 Cache"]
+    assert "stride" in description["L1 DCache"]
+    assert "25" in description["Markov lookup"]
+
+
+def test_table_2_scaled_configuration(benchmark):
+    result = figures.table_2_system_config(SystemConfig.scaled())
+    print()
+    print(result.rendered)
+    assert "sim-scale" in result.title

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines that lack the ``wheel`` package (PEP 517 editable installs
+require it); the legacy develop-mode path used through this shim does not.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a pure-Python reproduction of Triangel (ISCA 2024).
+
+This package implements, from scratch, the systems described in
+"Triangel: A High-Performance, Accurate, Timely On-Chip Temporal Prefetcher"
+(Ainsworth & Mukhanov, ISCA 2024):
+
+* the **Triangel** temporal prefetcher itself (:mod:`repro.core`) — History
+  Sampler, Second-Chance Sampler, Metadata Reuse Buffer, Set Dueller and the
+  aggression-control policy built on them;
+* the fixed **Triage** baseline it is compared against (:mod:`repro.triage`),
+  including the Markov metadata formats and Bloom-filter sizing studied in
+  the paper's section 3;
+* the **memory-system substrate** both run on (:mod:`repro.memory`,
+  :mod:`repro.sim`): a three-level cache hierarchy with a partitioned L3,
+  DRAM traffic/energy accounting and an analytic timing model;
+* **workload generators** (:mod:`repro.workloads`) standing in for the SPEC
+  CPU2006 traces and Graph500 inputs of the evaluation;
+* an **experiment harness** (:mod:`repro.experiments`) that regenerates every
+  figure and table of the paper's evaluation section.
+
+Quick start::
+
+    from repro import ExperimentRunner, figures
+
+    runner = ExperimentRunner()
+    result = figures.figure_10_speedup(runner)
+    print(result.rendered)
+"""
+
+from repro.core import TriangelConfig, TriangelPrefetcher
+from repro.experiments import figures
+from repro.experiments.configs import available_configurations, build_prefetchers
+from repro.experiments.runner import ExperimentRunner
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.multiprogram import MultiProgramSimulator
+from repro.triage.triage import TriageConfig, TriagePrefetcher
+from repro.workloads.registry import available_workloads, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TriangelConfig",
+    "TriangelPrefetcher",
+    "TriageConfig",
+    "TriagePrefetcher",
+    "StridePrefetcher",
+    "MemoryHierarchy",
+    "SystemConfig",
+    "Simulator",
+    "MultiProgramSimulator",
+    "ExperimentRunner",
+    "figures",
+    "available_configurations",
+    "build_prefetchers",
+    "available_workloads",
+    "generate_workload",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Analysis helpers: metric math and report rendering."""
+
+from repro.analysis.metrics import geomean, normalize_against_baseline, summarize_ratio
+from repro.analysis.report import format_results_table, render_figure
+
+__all__ = [
+    "geomean",
+    "normalize_against_baseline",
+    "summarize_ratio",
+    "format_results_table",
+    "render_figure",
+]

@@ -1,0 +1,60 @@
+"""Plain-text rendering of the reproduced figures and tables.
+
+The paper's evaluation figures are bar charts over (workload ×
+configuration).  The benchmark harness reproduces them as aligned text
+tables — the same rows and series, printable in a terminal and easy to diff
+against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_results_table(
+    table: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    row_order: Sequence[str] | None = None,
+    value_format: str = "{:.3f}",
+    row_header: str = "workload",
+) -> str:
+    """Format a (row × column) mapping of floats as an aligned text table."""
+
+    rows = list(row_order) if row_order is not None else list(table.keys())
+    header_cells = [row_header] + list(columns)
+    body: list[list[str]] = []
+    for row in rows:
+        per_column = table.get(row, {})
+        cells = [row]
+        for column in columns:
+            value = per_column.get(column)
+            cells.append("-" if value is None else value_format.format(value))
+        body.append(cells)
+
+    widths = [
+        max(len(header_cells[index]), *(len(line[index]) for line in body)) if body else len(header_cells[index])
+        for index in range(len(header_cells))
+    ]
+    lines = []
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(
+    title: str,
+    table: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    row_order: Sequence[str] | None = None,
+    note: str | None = None,
+) -> str:
+    """Render one reproduced figure: a title, the table, and an optional note."""
+
+    parts = [title, "=" * len(title)]
+    parts.append(format_results_table(table, columns, row_order))
+    if note:
+        parts.append("")
+        parts.append(note)
+    return "\n".join(parts)

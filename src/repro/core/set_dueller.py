@@ -1,0 +1,204 @@
+"""The Set Dueller (paper section 4.7, figure 9).
+
+The Bloom-filter sizing inherited from Triage-ISR has a persistent bias:
+whenever there are unique Markov indices to store, the partition grows,
+regardless of whether the displaced L3 data capacity would have produced
+more hits.  Triangel replaces it with a set-duelling mechanism that models
+both extremes directly and interpolates.
+
+For 64 sampled L3 sets the dueller keeps two shadow tag arrays:
+
+* one models a **full-size data cache** (all 16 ways, no partition), fed by
+  the miss/prefetch-hit stream the prefetcher sees;
+* one models a **full-size Markov table** (all 8 reservable ways), fed by
+  the Markov-index stream.
+
+Both are modelled as LRU so every tag has a unique evictability rank, which
+lets a single access update all nine possible partitionings at once: a data
+hit at stack position *i* would be a hit in every configuration that leaves
+at least *i+1* ways of data, and a Markov hit at position *j* in every
+configuration that reserves at least *j+1* ways for metadata.  Nine global
+counters accumulate these would-be hits; at the end of each window the
+partitioning with the highest score wins.
+
+Markov entries are 12-per-line, so the shadow Markov array samples 1/12 of
+the index stream and each hit is worth 12 cache-line hits; because a Markov
+hit saves a prefetch's DRAM access less often than a cache hit saves a
+demand DRAM access, hits are further biased *against* by a factor B
+(2 by default), making each sampled Markov hit worth 6 (footnote 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.hashing import fold_hash, mix64
+
+
+@dataclass
+class SetDuellerStats:
+    data_observations: int = 0
+    markov_observations: int = 0
+    markov_sampled: int = 0
+    data_hits: int = 0
+    markov_hits: int = 0
+    windows: int = 0
+    decisions: dict = field(default_factory=dict)
+
+
+class _ShadowTagArray:
+    """An LRU stack of hashed tags for one sampled set."""
+
+    def __init__(self, ways: int, tag_bits: int = 10) -> None:
+        self.ways = ways
+        self.tag_bits = tag_bits
+        self._stack: list[int] = []
+
+    def access(self, line_address: int) -> int | None:
+        """Access the shadow array; return the LRU-stack hit position or None.
+
+        Position 0 is most-recently-used; the returned value is the number of
+        ways that must be allocated (minus one) for this access to hit.
+        """
+
+        tag = fold_hash(line_address >> 6, self.tag_bits)
+        try:
+            position = self._stack.index(tag)
+        except ValueError:
+            position = None
+        if position is not None:
+            self._stack.pop(position)
+        self._stack.insert(0, tag)
+        del self._stack[self.ways :]
+        return position
+
+
+class SetDueller:
+    """Chooses the Markov partition size by duelling modelled hit rates."""
+
+    def __init__(
+        self,
+        l3_sets: int,
+        cache_ways: int = 16,
+        max_markov_ways: int = 8,
+        sampled_sets: int = 64,
+        window: int = 8192,
+        markov_weight: float = 12.0,
+        bias: float = 2.0,
+        markov_sample_period: int = 12,
+        tag_bits: int = 10,
+    ) -> None:
+        if l3_sets <= 0:
+            raise ValueError("l3_sets must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.l3_sets = l3_sets
+        self.cache_ways = cache_ways
+        self.max_markov_ways = max_markov_ways
+        self.window = window
+        self.markov_weight = markov_weight
+        self.bias = bias
+        self.markov_sample_period = max(1, markov_sample_period)
+        sample_period = max(1, l3_sets // max(1, sampled_sets))
+        self._sampled_sets = {
+            set_index
+            for set_index in range(l3_sets)
+            if mix64(set_index) % sample_period == 0
+        }
+        self._shadow_cache = {
+            set_index: _ShadowTagArray(cache_ways, tag_bits)
+            for set_index in self._sampled_sets
+        }
+        self._shadow_markov = {
+            set_index: _ShadowTagArray(max_markov_ways, tag_bits)
+            for set_index in self._sampled_sets
+        }
+        # counters[k] scores the configuration with k ways reserved for the
+        # Markov table (and cache_ways - k ways of data).
+        self.counters = [0.0] * (max_markov_ways + 1)
+        self._events_in_window = 0
+        self._current_ways = 0
+        self.stats = SetDuellerStats()
+
+    # -- helpers ---------------------------------------------------------------
+    def _set_of(self, line_address: int) -> int:
+        return (line_address >> 6) % self.l3_sets
+
+    @property
+    def sampled_set_count(self) -> int:
+        return len(self._sampled_sets)
+
+    @property
+    def current_ways(self) -> int:
+        return self._current_ways
+
+    # -- observation ---------------------------------------------------------------
+    def observe_data_access(self, line_address: int) -> int | None:
+        """Feed one demand miss/prefetch-hit address; maybe return a decision."""
+
+        self.stats.data_observations += 1
+        set_index = self._set_of(line_address)
+        if set_index in self._sampled_sets:
+            position = self._shadow_cache[set_index].access(line_address)
+            if position is not None:
+                self.stats.data_hits += 1
+                # A hit at stack position i needs at least i+1 data ways, i.e.
+                # at most cache_ways - (i+1) ways reserved for the Markov table.
+                max_reservable = self.cache_ways - (position + 1)
+                limit = min(self.max_markov_ways, max_reservable)
+                for reserved in range(0, limit + 1):
+                    self.counters[reserved] += 1.0
+        return self._advance_window()
+
+    def observe_markov_access(self, index_line_address: int) -> int | None:
+        """Feed one Markov-table index access; maybe return a decision."""
+
+        self.stats.markov_observations += 1
+        set_index = self._set_of(index_line_address)
+        if set_index in self._sampled_sets:
+            # Sample 1/12 of entries so shadow-tag lifetimes match the real
+            # table, where 12 entries share one cache line.
+            if mix64(index_line_address >> 6) % self.markov_sample_period == 0:
+                self.stats.markov_sampled += 1
+                position = self._shadow_markov[set_index].access(index_line_address)
+                if position is not None:
+                    self.stats.markov_hits += 1
+                    value = self.markov_weight / self.bias
+                    for reserved in range(position + 1, self.max_markov_ways + 1):
+                        self.counters[reserved] += value
+        return self._advance_window()
+
+    # -- decision ---------------------------------------------------------------------
+    def _advance_window(self) -> int | None:
+        self._events_in_window += 1
+        if self._events_in_window < self.window:
+            return None
+        decision = self.best_partition()
+        self.stats.windows += 1
+        self.stats.decisions[self.stats.windows] = decision
+        self.counters = [0.0] * (self.max_markov_ways + 1)
+        self._events_in_window = 0
+        if decision == self._current_ways:
+            return None
+        self._current_ways = decision
+        return decision
+
+    def best_partition(self, hysteresis: float = 0.05) -> int:
+        """The reservation (in ways) with the highest modelled hit score.
+
+        Resizing the partition forces the Markov table's sets to be
+        re-indexed, which drops entries (section 3.2), so the current
+        partitioning is kept unless a different one scores at least
+        ``hysteresis`` better — the paper notes that resizes should be rare.
+        Among genuinely tied options the smallest reservation wins: less
+        metadata means less displaced data for equal hit rate.
+        """
+
+        best_score = max(self.counters)
+        current_score = self.counters[self._current_ways]
+        if best_score <= current_score * (1.0 + hysteresis):
+            return self._current_ways
+        for reserved, score in enumerate(self.counters):
+            if score == best_score:
+                return reserved
+        return self._current_ways

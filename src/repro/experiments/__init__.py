@@ -1,0 +1,21 @@
+"""Experiment harness: named configurations, the runner, and per-figure experiments."""
+
+from repro.experiments.configs import (
+    ABLATION_LADDER,
+    EVALUATION_CONFIGS,
+    METADATA_FORMAT_CONFIGS,
+    available_configurations,
+    build_prefetchers,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures
+
+__all__ = [
+    "ABLATION_LADDER",
+    "EVALUATION_CONFIGS",
+    "METADATA_FORMAT_CONFIGS",
+    "available_configurations",
+    "build_prefetchers",
+    "ExperimentRunner",
+    "figures",
+]

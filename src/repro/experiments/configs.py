@@ -1,0 +1,260 @@
+"""Named prefetcher configurations used throughout the evaluation.
+
+Every bar series in the paper's figures corresponds to one configuration
+name here:
+
+* ``baseline`` — the stride prefetcher alone (what every speedup is
+  normalised to);
+* ``triage`` / ``triage-deg4`` / ``triage-deg4-look2`` — the fixed Triage
+  baseline at its default degree-1, its aggressive degree-4, and degree-4
+  with Triangel's lookahead-2 training bolted on (section 6.1);
+* ``triangel`` / ``triangel-bloom`` / ``triangel-nomrb`` — full Triangel,
+  Triangel with Bloom-filter sizing instead of the Set Dueller, and Triangel
+  without the Metadata Reuse Buffer (figures 10-15);
+* the figure 18 metadata-format study variants of Triage;
+* the figure 20 ablation ladder from Triage-Deg4 to full Triangel;
+* the section 3.3 replacement study (LRU / SRRIP / HawkEye under a
+  constrained Markov capacity).
+
+Each configuration is a factory that, given a :class:`~repro.sim.config.
+SystemConfig`, builds the prefetcher stack with structure sizes scaled to
+that system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.config import TriangelConfig
+from repro.core.triangel import TriangelPrefetcher
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.triage.triage import TriageConfig, TriagePrefetcher
+
+ConfigFactory = Callable[[SystemConfig], list[Prefetcher]]
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def _stride(system: SystemConfig) -> StridePrefetcher:
+    return StridePrefetcher(degree=8)
+
+
+def _triage_config(system: SystemConfig, **overrides) -> TriageConfig:
+    """A TriageConfig with its structures scaled to the given system."""
+
+    defaults = dict(
+        lut_entries=system.lut_entries,
+        lut_assoc=min(16, system.lut_entries),
+        lut_offset_bits=system.lut_offset_bits,
+        bloom_window=system.bloom_window,
+        training_entries=system.training_entries,
+        markov_latency=system.markov_latency,
+    )
+    defaults.update(overrides)
+    return TriageConfig(**defaults)
+
+
+def _triangel_config(system: SystemConfig, **overrides) -> TriangelConfig:
+    """A TriangelConfig with its structures scaled to the given system."""
+
+    defaults = dict(
+        training_entries=system.training_entries,
+        sampler_entries=system.sampler_entries,
+        mrb_entries=system.mrb_entries,
+        dueller_window=system.dueller_window,
+        bloom_window=system.bloom_window,
+        second_chance_window_fills=system.second_chance_window_fills,
+        markov_latency=system.markov_latency,
+    )
+    defaults.update(overrides)
+    return TriangelConfig(**defaults)
+
+
+def make_triage(system: SystemConfig, **overrides) -> list[Prefetcher]:
+    return [_stride(system), TriagePrefetcher(_triage_config(system, **overrides))]
+
+
+def make_triangel(system: SystemConfig, **overrides) -> list[Prefetcher]:
+    name = overrides.pop("display_name", "triangel")
+    return [
+        _stride(system),
+        TriangelPrefetcher(_triangel_config(system, **overrides), name=name),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The evaluation's main configurations (figures 10-17)
+# ---------------------------------------------------------------------------
+EVALUATION_CONFIGS: dict[str, ConfigFactory] = {
+    "baseline": lambda system: [_stride(system)],
+    "triage": lambda system: make_triage(system, degree=1),
+    "triage-deg4": lambda system: make_triage(system, degree=4),
+    "triage-deg4-look2": lambda system: make_triage(system, degree=4, lookahead=2),
+    "triangel": lambda system: make_triangel(system),
+    "triangel-bloom": lambda system: make_triangel(
+        system, sizing_mechanism="bloom", bloom_bias=1.5, display_name="triangel-bloom"
+    ),
+    "triangel-nomrb": lambda system: make_triangel(
+        system, use_mrb=False, display_name="triangel-nomrb"
+    ),
+}
+
+#: The five series plotted in figures 10-13.
+MAIN_SERIES: tuple[str, ...] = (
+    "triage",
+    "triage-deg4",
+    "triage-deg4-look2",
+    "triangel",
+    "triangel-bloom",
+)
+
+#: The six series plotted in figures 14-15 (adds the no-MRB variant).
+ENERGY_SERIES: tuple[str, ...] = MAIN_SERIES + ("triangel-nomrb",)
+
+#: The four series plotted in figures 16-17.
+MULTIPROGRAM_SERIES: tuple[str, ...] = (
+    "triage",
+    "triage-deg4",
+    "triangel",
+    "triangel-bloom",
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 18/19: Markov metadata format study (applied to Triage)
+# ---------------------------------------------------------------------------
+METADATA_FORMAT_CONFIGS: dict[str, ConfigFactory] = {
+    "32-bit-LUT-16-way": lambda system: make_triage(
+        system, degree=1, metadata_format="32-bit-LUT-16-way"
+    ),
+    "32-bit-ideal": lambda system: make_triage(
+        system, degree=1, metadata_format="32-bit-ideal"
+    ),
+    "32-bit-LUT-1024-way": lambda system: make_triage(
+        system, degree=1, metadata_format="32-bit-LUT-1024-way"
+    ),
+    "42-bit": lambda system: make_triage(system, degree=1, metadata_format="42-bit"),
+    "32-bit-LUT-16-way-10b-offset": lambda system: make_triage(
+        system, degree=1, metadata_format="32-bit-LUT-16-way-10b-offset"
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 20: ablation ladder from Triage-Deg4 to full Triangel
+# ---------------------------------------------------------------------------
+def _ablation_triangel(system: SystemConfig, **flags) -> list[Prefetcher]:
+    """Triangel with only a subset of its mechanisms enabled.
+
+    The early ablation steps predate the Set Dueller and the confidence
+    gates, so the defaults here disable everything and use Bloom sizing with
+    Triage's neutral bias; each ladder step switches individual flags on.
+    """
+
+    defaults = dict(
+        enable_reuse_conf=False,
+        enable_base_pattern_conf=False,
+        enable_high_pattern_conf=False,
+        enable_second_chance=False,
+        use_mrb=False,
+        sizing_mechanism="bloom",
+        bloom_bias=1.0,
+        display_name="triangel-ablation",
+    )
+    defaults.update(flags)
+    return make_triangel(system, **defaults)
+
+
+ABLATION_LADDER: dict[str, ConfigFactory] = {
+    "Triage-Deg-4": lambda system: make_triage(system, degree=4),
+    "+Lookahead-2": lambda system: make_triage(system, degree=4, lookahead=2),
+    "+Triangel Metadata": lambda system: make_triage(
+        system, degree=4, lookahead=2, metadata_format="42-bit"
+    ),
+    "+BasePatternConf": lambda system: _ablation_triangel(
+        system, enable_base_pattern_conf=True
+    ),
+    "+Second-Chance": lambda system: _ablation_triangel(
+        system, enable_base_pattern_conf=True, enable_second_chance=True
+    ),
+    "+Metadata Reuse Buffer": lambda system: _ablation_triangel(
+        system, enable_base_pattern_conf=True, enable_second_chance=True, use_mrb=True
+    ),
+    "+Set Duel": lambda system: _ablation_triangel(
+        system,
+        enable_base_pattern_conf=True,
+        enable_second_chance=True,
+        use_mrb=True,
+        sizing_mechanism="set-dueller",
+    ),
+    "+ReuseConf": lambda system: _ablation_triangel(
+        system,
+        enable_base_pattern_conf=True,
+        enable_second_chance=True,
+        use_mrb=True,
+        sizing_mechanism="set-dueller",
+        enable_reuse_conf=True,
+    ),
+    "+HighPatternConf": lambda system: _ablation_triangel(
+        system,
+        enable_base_pattern_conf=True,
+        enable_second_chance=True,
+        use_mrb=True,
+        sizing_mechanism="set-dueller",
+        enable_reuse_conf=True,
+        enable_high_pattern_conf=True,
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Section 3.3: Markov replacement study under constrained capacity
+# ---------------------------------------------------------------------------
+def replacement_study_configs(max_entries: int | None = 1024) -> dict[str, ConfigFactory]:
+    """Triage with LRU / SRRIP / HawkEye Markov replacement.
+
+    ``max_entries`` caps the Markov occupancy, reproducing the paper's
+    observation that replacement policy only matters once capacity is
+    artificially constrained (footnote 4).
+    """
+
+    def factory(policy: str) -> ConfigFactory:
+        return lambda system: make_triage(
+            system,
+            degree=1,
+            markov_replacement=policy,
+            max_entries_override=max_entries,
+        )
+
+    return {
+        f"triage-{policy}": factory(policy) for policy in ("lru", "srrip", "hawkeye")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Lookup
+# ---------------------------------------------------------------------------
+ALL_CONFIGS: dict[str, ConfigFactory] = {
+    **EVALUATION_CONFIGS,
+    **{f"triage-format-{name}": factory for name, factory in METADATA_FORMAT_CONFIGS.items()},
+    **{f"ablation-{name}": factory for name, factory in ABLATION_LADDER.items()},
+}
+
+
+def available_configurations() -> list[str]:
+    return sorted(ALL_CONFIGS)
+
+
+def build_prefetchers(name: str, system: SystemConfig) -> list[Prefetcher]:
+    """Build the prefetcher stack for a named configuration."""
+
+    try:
+        factory = ALL_CONFIGS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown configuration {name!r}; available: {available_configurations()}"
+        ) from exc
+    return factory(system)

@@ -1,0 +1,378 @@
+"""Ready-to-run reproductions of every figure and table in the evaluation.
+
+Each ``figure_N`` function runs the relevant (workload × configuration)
+matrix through :class:`~repro.experiments.runner.ExperimentRunner`, reduces
+it to the metric the paper plots, and returns a
+:class:`FigureResult` holding the numeric table plus a rendered text
+version.  The benchmark modules under ``benchmarks/`` call these functions
+(one per figure) and print the rendered tables, which is the reproduction's
+equivalent of regenerating the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import add_geomean_row, geomean
+from repro.analysis.report import render_figure
+from repro.core.config import TriangelConfig, total_dedicated_storage_bytes, triangel_structure_sizes
+from repro.experiments.configs import (
+    ABLATION_LADDER,
+    ENERGY_SERIES,
+    MAIN_SERIES,
+    METADATA_FORMAT_CONFIGS,
+    MULTIPROGRAM_SERIES,
+    replacement_study_configs,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import SystemConfig
+from repro.workloads.registry import (
+    GRAPH500_WORKLOADS,
+    MULTIPROGRAM_PAIRS,
+    SPEC_WORKLOADS,
+)
+
+
+@dataclass
+class FigureResult:
+    """The reproduced data for one figure or table."""
+
+    figure: str
+    title: str
+    table: dict[str, dict[str, float]]
+    columns: list[str]
+    rendered: str = ""
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def geomean_row(self) -> dict[str, float]:
+        return self.table.get("geomean", {})
+
+
+def _render(result: FigureResult) -> FigureResult:
+    result.rendered = render_figure(
+        f"{result.figure}: {result.title}",
+        result.table,
+        result.columns,
+        note=result.notes or None,
+    )
+    return result
+
+
+def _default_runner(runner: ExperimentRunner | None) -> ExperimentRunner:
+    return runner or ExperimentRunner()
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-15: the main single-core matrix through different metrics
+# ---------------------------------------------------------------------------
+def _matrix_figure(
+    runner: ExperimentRunner | None,
+    figure: str,
+    title: str,
+    metric: str,
+    series: tuple[str, ...],
+    notes: str = "",
+) -> FigureResult:
+    runner = _default_runner(runner)
+    table = runner.normalized_matrix(SPEC_WORKLOADS, list(series), metric)
+    return _render(
+        FigureResult(figure=figure, title=title, table=table, columns=list(series), notes=notes)
+    )
+
+
+def figure_10_speedup(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 10: speedup over the stride-only baseline."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 10",
+        "Speedup over stride-only baseline (higher is better)",
+        "speedup",
+        MAIN_SERIES,
+        notes="Paper geomeans: Triage 1.093, Triage-Deg4 1.142, Triage-Deg4-Look2 1.166, "
+        "Triangel 1.264, Triangel-Bloom 1.261.",
+    )
+
+
+def figure_11_dram_traffic(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 11: normalised DRAM traffic (lower is better)."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 11",
+        "Normalised DRAM traffic (lower is better)",
+        "dram_traffic",
+        MAIN_SERIES,
+        notes="Paper geomeans: Triage ~1.285, Triage-Deg4 ~1.438, Triangel ~1.10, "
+        "Triangel-Bloom ~1.146.",
+    )
+
+
+def figure_12_accuracy(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 12: prefetch accuracy (prefetched lines used before L2 eviction)."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 12",
+        "Temporal-prefetch accuracy (higher is better)",
+        "accuracy",
+        MAIN_SERIES,
+        notes="Paper shape: Triangel is the most accurate; Triage-Deg4 is more accurate "
+        "than Triage by ratio but issues far more prefetches.",
+    )
+
+
+def figure_13_coverage(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 13: coverage of baseline L2 demand misses."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 13",
+        "Coverage of baseline L2 demand misses (higher is better)",
+        "coverage",
+        MAIN_SERIES,
+        notes="Paper shape: Triangel declines to prefetch poor streams (Astar, Soplex), "
+        "trading coverage there for accuracy and traffic.",
+    )
+
+
+def figure_14_l3_traffic(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 14: normalised L3 accesses including Markov-table accesses."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 14",
+        "Normalised L3 accesses incl. Markov metadata (lower is better)",
+        "l3_accesses",
+        ENERGY_SERIES,
+        notes="Paper shape: Triage-Deg4 exceeds 5x; Triangel stays near Triage-Deg1 even "
+        "at degree 4 thanks to filtering and the Metadata Reuse Buffer.",
+    )
+
+
+def figure_15_energy(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 15: normalised DRAM+L3 dynamic energy (25:1 weighting)."""
+
+    return _matrix_figure(
+        runner,
+        "Figure 15",
+        "Normalised DRAM+L3 dynamic energy (lower is better)",
+        "energy",
+        ENERGY_SERIES,
+        notes="Paper geomeans: Triangel ~1.14, Triangel-Bloom ~1.19, Triage ~1.36, "
+        "Triage-Deg4 ~1.60.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: multiprogrammed pairs
+# ---------------------------------------------------------------------------
+def figure_16_multiprogram(
+    runner: ExperimentRunner | None = None,
+    max_accesses_per_core: int | None = 30_000,
+) -> FigureResult:
+    """Figure 16: speedup of workload pairs sharing the L3 and DRAM."""
+
+    runner = _default_runner(runner)
+    table: dict[str, dict[str, float]] = {}
+    for pair in MULTIPROGRAM_PAIRS:
+        label = f"{pair[0]} & {pair[1]}"
+        baseline = runner.run_multiprogram(pair, "baseline", max_accesses_per_core)
+        table[label] = {}
+        for configuration in MULTIPROGRAM_SERIES:
+            result = runner.run_multiprogram(pair, configuration, max_accesses_per_core)
+            speedups = result.speedups_relative_to(baseline)
+            table[label][configuration] = geomean(speedups)
+    table = add_geomean_row(table)
+    return _render(
+        FigureResult(
+            figure="Figure 16",
+            title="Multiprogrammed-pair speedup (shared L3, Markov partition and DRAM)",
+            table=table,
+            columns=list(MULTIPROGRAM_SERIES),
+            notes="Paper shape: Triangel holds its gains; Triage slips and Triage-Deg4's "
+            "aggression backfires under bandwidth constraint.",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: Graph500 adversarial workloads
+# ---------------------------------------------------------------------------
+def figure_17_graph500(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 17: slowdown and DRAM traffic on Graph500 search."""
+
+    runner = _default_runner(runner)
+    series = list(MULTIPROGRAM_SERIES)
+    results = runner.run_matrix(list(GRAPH500_WORKLOADS), ["baseline"] + series)
+    table: dict[str, dict[str, float]] = {}
+    for workload in GRAPH500_WORKLOADS:
+        baseline = results[workload]["baseline"]
+        slowdown_row = {}
+        traffic_row = {}
+        for configuration in series:
+            stats = results[workload][configuration]
+            speedup = stats.speedup_relative_to(baseline)
+            slowdown_row[configuration] = 1.0 / speedup if speedup > 0 else float("inf")
+            traffic_row[configuration] = stats.dram_traffic_relative_to(baseline)
+        table[f"{workload} slowdown"] = slowdown_row
+        table[f"{workload} dram"] = traffic_row
+    return _render(
+        FigureResult(
+            figure="Figure 17",
+            title="Graph500 search: slowdown and DRAM traffic (lower is better)",
+            table=table,
+            columns=series,
+            notes="Paper shape: Triage configurations slow down markedly and inflate DRAM "
+            "traffic; Triangel's Set Dueller keeps both near 1.0.",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 18/19: Markov metadata format study
+# ---------------------------------------------------------------------------
+def figure_18_metadata_formats(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 18: Triage speedup under different Markov-entry formats."""
+
+    runner = _default_runner(runner)
+    extra = {name: factory for name, factory in METADATA_FORMAT_CONFIGS.items()}
+    table = runner.normalized_matrix(
+        SPEC_WORKLOADS, list(extra), "speedup", extra_factories=extra
+    )
+    return _render(
+        FigureResult(
+            figure="Figure 18",
+            title="Triage speedup by Markov metadata format",
+            table=table,
+            columns=list(extra),
+            notes="Paper shape: 42-bit > 32-bit-LUT variants; the 10-bit-offset "
+            "(fragmented) variant drops sharply; 16-way LUT ≈ fully-associative LUT.",
+        )
+    )
+
+
+def figure_19_lut_accuracy(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 19: Triage accuracy with 11-bit vs 10-bit LUT offsets."""
+
+    runner = _default_runner(runner)
+    extra = {
+        "11-bit": METADATA_FORMAT_CONFIGS["32-bit-LUT-16-way"],
+        "10-bit": METADATA_FORMAT_CONFIGS["32-bit-LUT-16-way-10b-offset"],
+    }
+    results = runner.run_matrix(list(SPEC_WORKLOADS), list(extra), extra_factories=extra)
+    table = {
+        workload: {name: stats.accuracy for name, stats in per_config.items()}
+        for workload, per_config in results.items()
+    }
+    table = add_geomean_row(table)
+    return _render(
+        FigureResult(
+            figure="Figure 19",
+            title="Triage LUT accuracy with 11-bit vs 10-bit offsets",
+            table=table,
+            columns=list(extra),
+            notes="Paper shape: accuracy is workload-dependent and collapses further with "
+            "the fragmented 10-bit offset; Triangel avoids the LUT entirely.",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 20: ablation ladder
+# ---------------------------------------------------------------------------
+def figure_20_ablation(runner: ExperimentRunner | None = None) -> FigureResult:
+    """Figure 20: progressive addition of Triangel's mechanisms."""
+
+    runner = _default_runner(runner)
+    extra = dict(ABLATION_LADDER)
+    speedups = runner.normalized_matrix(
+        SPEC_WORKLOADS, list(extra), "speedup", extra_factories=extra
+    )
+    traffic = runner.normalized_matrix(
+        SPEC_WORKLOADS, list(extra), "dram_traffic", extra_factories=extra
+    )
+    table: dict[str, dict[str, float]] = {}
+    for workload, row in speedups.items():
+        table[f"{workload} speedup"] = row
+    for workload, row in traffic.items():
+        table[f"{workload} dram"] = row
+    return _render(
+        FigureResult(
+            figure="Figure 20",
+            title="Ablation: progressively adding Triangel's mechanisms to Triage-Deg4",
+            table=table,
+            columns=list(extra),
+            notes="Paper shape: BasePatternConf roughly halves the DRAM overhead; the Set "
+            "Dueller cuts traffic further; HighPatternConf trades a little speed for traffic.",
+            extras={"speedup": speedups, "dram_traffic": traffic},
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2
+# ---------------------------------------------------------------------------
+def table_1_structure_sizes(config: TriangelConfig | None = None) -> FigureResult:
+    """Table 1: Triangel's dedicated-storage budget."""
+
+    sizes = triangel_structure_sizes(config)
+    table = {
+        size.name: {"entries": float(size.entries), "bytes": size.bytes} for size in sizes
+    }
+    total = total_dedicated_storage_bytes(config)
+    table["Total"] = {"entries": float("nan"), "bytes": total}
+    result = FigureResult(
+        figure="Table 1",
+        title="Triangel dedicated storage (paper total: ~17.6 KiB)",
+        table=table,
+        columns=["entries", "bytes"],
+        notes=f"Total dedicated storage: {total / 1024:.1f} KiB",
+    )
+    return _render(result)
+
+
+def table_2_system_config(system: SystemConfig | None = None) -> FigureResult:
+    """Table 2: the simulated core and memory configuration."""
+
+    system = system or SystemConfig.paper()
+    description = system.describe()
+    table = {key: {"value": float("nan")} for key in description}
+    result = FigureResult(
+        figure="Table 2",
+        title=f"System configuration ({system.name})",
+        table=table,
+        columns=["value"],
+        extras={"description": description},
+    )
+    lines = [f"Table 2: system configuration ({system.name})", "=" * 40]
+    for key, value in description.items():
+        lines.append(f"{key:>14}: {value}")
+    result.rendered = "\n".join(lines)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 3.3 replacement study
+# ---------------------------------------------------------------------------
+def replacement_study(
+    runner: ExperimentRunner | None = None, max_entries: int | None = 1024
+) -> FigureResult:
+    """Section 3.3: Markov replacement policy under constrained capacity."""
+
+    runner = _default_runner(runner)
+    extra = replacement_study_configs(max_entries)
+    table = runner.normalized_matrix(
+        SPEC_WORKLOADS, list(extra), "speedup", extra_factories=extra
+    )
+    return _render(
+        FigureResult(
+            figure="Section 3.3",
+            title=f"Markov replacement study (capacity capped at {max_entries} entries)",
+            table=table,
+            columns=list(extra),
+            notes="Paper observation: HawkEye beats LRU/RRIP only when capacity is "
+            "artificially constrained.",
+        )
+    )

@@ -1,0 +1,185 @@
+"""The experiment runner: (workload × configuration) matrices with caching.
+
+Figures 10-15 all plot the same underlying runs (one per workload per
+configuration), just through different metrics.  The runner therefore caches
+completed runs — keyed by workload, configuration, system and trace length —
+so the first figure's benchmark pays for the simulations and the rest reuse
+them.  Traces are cached too, since generation is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.metrics import add_geomean_row, normalize_against_baseline
+from repro.experiments.configs import ALL_CONFIGS, ConfigFactory, build_prefetchers
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.multiprogram import MultiProgramResult, MultiProgramSimulator
+from repro.sim.stats import SimulationStats
+from repro.sim.timing import TimingModel
+from repro.workloads.registry import generate_workload
+from repro.workloads.trace import Trace
+
+# Module-level caches shared by every runner instance in the process, so that
+# successive benchmark modules (fig. 10, fig. 11, ...) reuse each other's runs.
+_TRACE_CACHE: dict[tuple, Trace] = {}
+_RUN_CACHE: dict[tuple, SimulationStats] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and runs (used by tests)."""
+
+    _TRACE_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs named workloads against named configurations on one system."""
+
+    system: SystemConfig = field(default_factory=SystemConfig.scaled)
+    max_accesses: int | None = None
+    trace_overrides: dict = field(default_factory=dict)
+    use_cache: bool = True
+    #: fraction of each trace used to warm caches and prefetcher state before
+    #: statistics are collected — the scaled analogue of the paper's
+    #: 50M-instruction warm-up per 5M-instruction sample (which is 10x the
+    #: sample length; shorter here to keep simulation time reasonable).
+    warmup_fraction: float = 0.4
+
+    # -- traces -------------------------------------------------------------
+    def trace_for(self, workload: str) -> Trace:
+        key = (workload, tuple(sorted(self.trace_overrides.items())))
+        if self.use_cache and key in _TRACE_CACHE:
+            return _TRACE_CACHE[key]
+        trace = generate_workload(workload, **self.trace_overrides)
+        if self.use_cache:
+            _TRACE_CACHE[key] = trace
+        return trace
+
+    # -- single runs --------------------------------------------------------
+    def run(
+        self,
+        workload: str,
+        configuration: str,
+        extra_factory: ConfigFactory | None = None,
+    ) -> SimulationStats:
+        """Run one workload under one configuration and return its stats.
+
+        ``extra_factory`` allows running a configuration that is not in the
+        global registry (used by the ablation and replacement studies, whose
+        configurations are parameterised at call time).
+        """
+
+        key = (
+            workload,
+            configuration,
+            self.system.name,
+            self.max_accesses,
+            self.warmup_fraction,
+            tuple(sorted(self.trace_overrides.items())),
+        )
+        if self.use_cache and key in _RUN_CACHE:
+            return _RUN_CACHE[key]
+
+        trace = self.trace_for(workload)
+        hierarchy = self.system.build_hierarchy()
+        if extra_factory is not None:
+            prefetchers = extra_factory(self.system)
+        else:
+            prefetchers = build_prefetchers(configuration, self.system)
+        simulator = Simulator(
+            hierarchy,
+            prefetchers,
+            timing=TimingModel(self.system.timing),
+            config=self.system,
+            configuration_name=configuration,
+        )
+        warmup = int(len(trace) * self.warmup_fraction)
+        result = simulator.run(
+            trace,
+            max_accesses=self.max_accesses,
+            workload_name=workload,
+            warmup_accesses=warmup,
+        )
+        stats = result.stats
+        if self.use_cache:
+            _RUN_CACHE[key] = stats
+        return stats
+
+    # -- matrices -------------------------------------------------------------
+    def run_matrix(
+        self,
+        workloads: Sequence[str],
+        configurations: Sequence[str],
+        extra_factories: Mapping[str, ConfigFactory] | None = None,
+    ) -> dict[str, dict[str, SimulationStats]]:
+        """Run every (workload × configuration) pair; return stats per cell."""
+
+        extra_factories = dict(extra_factories or {})
+        results: dict[str, dict[str, SimulationStats]] = {}
+        for workload in workloads:
+            results[workload] = {}
+            for configuration in configurations:
+                factory = extra_factories.get(configuration)
+                if factory is None and configuration not in ALL_CONFIGS:
+                    raise ValueError(f"unknown configuration {configuration!r}")
+                results[workload][configuration] = self.run(
+                    workload, configuration, extra_factory=factory
+                )
+        return results
+
+    def normalized_matrix(
+        self,
+        workloads: Sequence[str],
+        configurations: Sequence[str],
+        metric: str,
+        baseline_config: str = "baseline",
+        include_geomean: bool = True,
+        extra_factories: Mapping[str, ConfigFactory] | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Run the matrix and reduce it to one normalised metric per cell."""
+
+        run_configs = list(configurations)
+        if baseline_config not in run_configs:
+            run_configs = [baseline_config] + run_configs
+        results = self.run_matrix(workloads, run_configs, extra_factories)
+        table = normalize_against_baseline(results, metric, baseline_config)
+        for per_config in table.values():
+            per_config.pop(baseline_config, None)
+        if include_geomean:
+            table = add_geomean_row(table)
+        return table
+
+    # -- multiprogrammed runs ---------------------------------------------------
+    def run_multiprogram(
+        self,
+        pair: Sequence[str],
+        configuration: str,
+        max_accesses_per_core: int | None = None,
+    ) -> MultiProgramResult:
+        """Run a workload pair on two cores sharing the L3 and DRAM."""
+
+        factory = ALL_CONFIGS.get(configuration)
+        if factory is None:
+            raise ValueError(f"unknown configuration {configuration!r}")
+        simulator = MultiProgramSimulator(
+            self.system,
+            prefetcher_factory=lambda: factory(self.system),
+            num_cores=len(pair),
+            configuration_name=configuration,
+        )
+        traces = [self.trace_for(workload) for workload in pair]
+        shortest = min(len(trace) for trace in traces)
+        warmup = int(
+            (max_accesses_per_core if max_accesses_per_core is not None else shortest)
+            * self.warmup_fraction
+        )
+        return simulator.run(
+            traces,
+            workload_names=list(pair),
+            max_accesses_per_core=max_accesses_per_core,
+            warmup_accesses_per_core=warmup,
+        )

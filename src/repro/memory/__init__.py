@@ -1,0 +1,76 @@
+"""Memory-system substrate: addresses, caches, replacement policies, DRAM.
+
+The Triangel paper evaluates prefetchers on top of a three-level cache
+hierarchy (table 2 of the paper): private 64 KiB L1D and 512 KiB L2 per core,
+a 2 MiB/core shared 16-way L3, and LPDDR5 DRAM.  The Markov prefetch
+metadata lives in a partition of up to 8 ways of the L3.  This package
+provides the software model of that substrate:
+
+* :mod:`repro.memory.address` — line/page arithmetic and the virtual→physical
+  page mapper used to model frame fragmentation (paper section 6.5).
+* :mod:`repro.memory.request` — access records and result types.
+* :mod:`repro.memory.replacement` — LRU, FIFO, Random, PLRU, SRRIP/BRRIP.
+* :mod:`repro.memory.hawkeye` — the HawkEye replacement policy Triage uses
+  for its Markov partition (paper section 3.3).
+* :mod:`repro.memory.cache` — a generic set-associative cache with prefetch
+  tagging.
+* :mod:`repro.memory.partitioned_cache` — the L3 model whose data capacity
+  shrinks as ways are reserved for Markov metadata.
+* :mod:`repro.memory.dram` — DRAM traffic/energy accounting with an optional
+  bandwidth (queueing) model for multiprogrammed runs.
+* :mod:`repro.memory.hierarchy` — the composed L1D→L2→L3→DRAM hierarchy.
+"""
+
+from repro.memory.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    PageMapper,
+    line_address,
+    line_number,
+    page_number,
+    page_offset,
+)
+from repro.memory.cache import CacheLine, SetAssociativeCache
+from repro.memory.dram import DramModel
+from repro.memory.hawkeye import HawkEyePolicy
+from repro.memory.hierarchy import DemandResult, MemoryHierarchy, PrefetchFillResult
+from repro.memory.partitioned_cache import PartitionedCache
+from repro.memory.replacement import (
+    BRRIPPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    make_replacement_policy,
+)
+from repro.memory.request import AccessType, MemoryAccess
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "PageMapper",
+    "line_address",
+    "line_number",
+    "page_number",
+    "page_offset",
+    "CacheLine",
+    "SetAssociativeCache",
+    "PartitionedCache",
+    "DramModel",
+    "HawkEyePolicy",
+    "MemoryHierarchy",
+    "DemandResult",
+    "PrefetchFillResult",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "make_replacement_policy",
+    "AccessType",
+    "MemoryAccess",
+]

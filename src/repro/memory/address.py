@@ -1,0 +1,116 @@
+"""Address arithmetic and the virtual→physical page mapper.
+
+Cache lines are 64 bytes throughout the paper, so the six least-significant
+bits of any address are implicit in the prefetcher metadata (paper section
+3.1).  Pages are 4 KiB.  The :class:`PageMapper` models an operating system's
+virtual-to-physical mapping with a controllable degree of *frame
+fragmentation*: Triage's lookup-table compression implicitly assumes strong
+physical-frame locality, and the paper shows (section 6.5, figures 18/19)
+that realistic fragmentation — modelled there by shrinking the LUT offset
+from 11 to 10 bits — destroys its accuracy.  Our workload generators emit
+virtual addresses and translate them through a :class:`PageMapper`, so the
+same fragmentation knob is available to every experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+CACHE_LINE_SIZE = 64
+CACHE_LINE_BITS = 6
+PAGE_SIZE = 4096
+PAGE_BITS = 12
+
+
+def line_address(address: int) -> int:
+    """Return ``address`` aligned down to its cache-line base."""
+
+    return address & ~(CACHE_LINE_SIZE - 1)
+
+
+def line_number(address: int) -> int:
+    """Return the cache-line number (address >> 6)."""
+
+    return address >> CACHE_LINE_BITS
+
+
+def page_number(address: int) -> int:
+    """Return the 4 KiB page number containing ``address``."""
+
+    return address >> PAGE_BITS
+
+
+def page_offset(address: int) -> int:
+    """Return the offset of ``address`` within its 4 KiB page."""
+
+    return address & (PAGE_SIZE - 1)
+
+
+@dataclass
+class PageMapper:
+    """Deterministic virtual→physical page mapping with tunable fragmentation.
+
+    Parameters
+    ----------
+    fragmentation:
+        Fraction of pages mapped to a pseudo-random physical frame instead of
+        the next sequential frame.  ``0.0`` models a freshly booted system
+        where contiguous virtual pages land in contiguous frames (the
+        assumption under which Triage's LUT compression works well);
+        ``1.0`` models a heavily fragmented system.
+    physical_pages:
+        Size of the physical frame pool to draw fragmented mappings from.
+    seed:
+        Seed for the deterministic mapping.
+    base_frame:
+        First physical frame used for sequential allocations; lets two
+        workloads in a multiprogrammed pair occupy disjoint frame ranges.
+    """
+
+    fragmentation: float = 0.0
+    physical_pages: int = 1 << 20
+    seed: int = 0xA11CE
+    base_frame: int = 0x100
+    _mapping: dict[int, int] = field(default_factory=dict, repr=False)
+    _next_frame: int = field(default=0, repr=False)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fragmentation <= 1.0:
+            raise ValueError(
+                f"fragmentation must be in [0, 1], got {self.fragmentation}"
+            )
+        if self.physical_pages <= 0:
+            raise ValueError("physical_pages must be positive")
+        self._next_frame = self.base_frame
+        self._rng = random.Random(self.seed)
+
+    def translate(self, virtual_address: int) -> int:
+        """Translate a virtual byte address to a physical byte address.
+
+        The first touch of a virtual page allocates a frame; subsequent
+        touches reuse it, so the mapping is stable for the lifetime of the
+        mapper (as it would be for a non-swapping OS during a 5M-instruction
+        simulation sample).
+        """
+
+        vpage = page_number(virtual_address)
+        frame = self._mapping.get(vpage)
+        if frame is None:
+            frame = self._allocate_frame()
+            self._mapping[vpage] = frame
+        return (frame << PAGE_BITS) | page_offset(virtual_address)
+
+    def _allocate_frame(self) -> int:
+        if self.fragmentation > 0.0 and self._rng.random() < self.fragmentation:
+            return self._rng.randrange(self.physical_pages)
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of virtual pages that have been touched so far."""
+
+        return len(self._mapping)

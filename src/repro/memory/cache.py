@@ -1,0 +1,335 @@
+"""A generic set-associative cache with prefetch tagging.
+
+Every cache level in the model is an instance of
+:class:`SetAssociativeCache` (the L3 uses the :class:`~repro.memory.
+partitioned_cache.PartitionedCache` subclass).  Lines carry a *prefetched*
+tag and a *used-since-prefetch* flag so the simulator can detect tagged
+prefetch hits — the event that, together with demand misses, trains the
+temporal prefetchers (paper section 2) — and measure accuracy exactly as the
+paper defines it: prefetched lines used before eviction from the L2
+(figure 12 caption).
+
+Lines also carry a ``ready_cycle``.  Prefetches are inserted as soon as they
+are issued but only become usable once their fill would have completed; a
+demand access that arrives earlier pays the remaining latency.  This is how
+the model captures *timeliness*, which is the property Triangel's lookahead
+and degree mechanisms exist to improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.address import CACHE_LINE_SIZE, line_address
+from repro.memory.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One cache line's bookkeeping state."""
+
+    valid: bool = False
+    tag: int = 0
+    dirty: bool = False
+    prefetched: bool = False
+    used_since_prefetch: bool = False
+    pc: int | None = None
+    ready_cycle: float = 0.0
+    fill_time: float = 0.0
+
+    def reset(self) -> None:
+        self.valid = False
+        self.tag = 0
+        self.dirty = False
+        self.prefetched = False
+        self.used_since_prefetch = False
+        self.pc = None
+        self.ready_cycle = 0.0
+        self.fill_time = 0.0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and prefetch-related counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    demand_accesses: int = 0
+    prefetch_fills: int = 0
+    prefetch_first_uses: int = 0
+    prefetched_evicted_unused: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        for name in (
+            "hits",
+            "misses",
+            "demand_accesses",
+            "prefetch_fills",
+            "prefetch_first_uses",
+            "prefetched_evicted_unused",
+            "writebacks",
+            "invalidations",
+        ):
+            setattr(self, name, 0)
+
+
+@dataclass(slots=True)
+class AccessOutcome:
+    """Result of a demand lookup in one cache level."""
+
+    hit: bool
+    first_prefetch_use: bool = False
+    ready_cycle: float = 0.0
+    line_pc: int | None = None
+
+
+@dataclass(slots=True)
+class EvictionInfo:
+    """Description of a line displaced by a fill."""
+
+    address: int
+    dirty: bool
+    prefetched_unused: bool
+    pc: int | None = None
+
+
+class SetAssociativeCache:
+    """A set-associative, write-back, allocate-on-miss cache model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name used in reports (``"L1D"``, ``"L2"``, ...).
+    size_bytes:
+        Total data capacity.
+    assoc:
+        Number of ways.
+    line_size:
+        Cache-line size in bytes; 64 throughout the paper.
+    replacement:
+        Either a policy name understood by
+        :func:`repro.memory.replacement.make_replacement_policy` or an
+        already-constructed :class:`ReplacementPolicy`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_size: int = CACHE_LINE_SIZE,
+        replacement: str | ReplacementPolicy = "lru",
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_size <= 0:
+            raise ValueError("size_bytes, assoc and line_size must be positive")
+        if size_bytes % (assoc * line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} is not a multiple of assoc*line_size "
+                f"({assoc}*{line_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size_bytes // (assoc * line_size)
+        if isinstance(replacement, ReplacementPolicy):
+            self.policy = replacement
+        else:
+            self.policy = make_replacement_policy(replacement, self.num_sets, assoc)
+        self._sets: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address decomposition -------------------------------------------
+    def locate(self, address: int) -> tuple[int, int]:
+        """Return ``(set_index, tag)`` for a byte address."""
+
+        line = line_address(address) // self.line_size
+        return line % self.num_sets, line // self.num_sets
+
+    def _find_way(self, set_index: int, tag: int) -> int | None:
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    # -- queries -----------------------------------------------------------
+    def probe(self, address: int) -> bool:
+        """Return whether the line is present, without touching any state."""
+
+        set_index, tag = self.locate(address)
+        return self._find_way(set_index, tag) is not None
+
+    def get_line(self, address: int) -> CacheLine | None:
+        """Return the resident line for ``address`` (no state change)."""
+
+        set_index, tag = self.locate(address)
+        way = self._find_way(set_index, tag)
+        return self._sets[set_index][way] if way is not None else None
+
+    def resident_line_addresses(self) -> list[int]:
+        """Return the byte addresses of all resident lines (test helper)."""
+
+        addresses = []
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid:
+                    addresses.append(
+                        (line.tag * self.num_sets + set_index) * self.line_size
+                    )
+        return addresses
+
+    # -- demand path --------------------------------------------------------
+    def access(
+        self,
+        address: int,
+        pc: int | None = None,
+        is_write: bool = False,
+        now: float = 0.0,
+    ) -> AccessOutcome:
+        """Perform a demand lookup, updating replacement and prefetch state."""
+
+        set_index, tag = self.locate(address)
+        self.stats.demand_accesses += 1
+        self._observe(set_index, address, pc)
+        way = self._find_way(set_index, tag)
+        if way is None:
+            self.stats.misses += 1
+            return AccessOutcome(hit=False)
+        line = self._sets[set_index][way]
+        self.stats.hits += 1
+        first_use = False
+        if line.prefetched and not line.used_since_prefetch:
+            line.used_since_prefetch = True
+            first_use = True
+            self.stats.prefetch_first_uses += 1
+        if is_write:
+            line.dirty = True
+        self.policy.on_hit(set_index, way, pc)
+        return AccessOutcome(
+            hit=True,
+            first_prefetch_use=first_use,
+            ready_cycle=line.ready_cycle,
+            line_pc=line.pc,
+        )
+
+    def fill(
+        self,
+        address: int,
+        pc: int | None = None,
+        is_write: bool = False,
+        prefetched: bool = False,
+        ready_cycle: float = 0.0,
+        now: float = 0.0,
+    ) -> EvictionInfo | None:
+        """Insert a line (demand fill or prefetch fill); return the victim, if any."""
+
+        set_index, tag = self.locate(address)
+        existing = self._find_way(set_index, tag)
+        if existing is not None:
+            # Re-filling a resident line (e.g. a prefetch racing a demand
+            # fill): refresh flags without evicting anything.
+            line = self._sets[set_index][existing]
+            line.dirty = line.dirty or is_write
+            if prefetched and not line.prefetched:
+                line.prefetched = True
+                line.used_since_prefetch = False
+                line.ready_cycle = ready_cycle
+            self.policy.on_hit(set_index, existing, pc)
+            return None
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        victim_info = None
+        way, victim_info = self._choose_victim(set_index)
+        line = self._sets[set_index][way]
+        line.valid = True
+        line.tag = tag
+        line.dirty = is_write
+        line.prefetched = prefetched
+        line.used_since_prefetch = False
+        line.pc = pc
+        line.ready_cycle = ready_cycle
+        line.fill_time = now
+        self.policy.on_fill(set_index, way, pc)
+        return victim_info
+
+    def _candidate_ways(self, set_index: int) -> list[int]:
+        """Ways eligible to hold data; the partitioned L3 narrows this."""
+
+        return list(range(self.assoc))
+
+    def _choose_victim(self, set_index: int) -> tuple[int, EvictionInfo | None]:
+        candidates = self._candidate_ways(set_index)
+        ways = self._sets[set_index]
+        for way in candidates:
+            if not ways[way].valid:
+                return way, None
+        way = self.policy.victim(set_index, candidates)
+        return way, self._evict(set_index, way)
+
+    def _evict(self, set_index: int, way: int) -> EvictionInfo:
+        line = self._sets[set_index][way]
+        address = (line.tag * self.num_sets + set_index) * self.line_size
+        prefetched_unused = line.prefetched and not line.used_since_prefetch
+        if prefetched_unused:
+            self.stats.prefetched_evicted_unused += 1
+        if line.dirty:
+            self.stats.writebacks += 1
+        info = EvictionInfo(
+            address=address,
+            dirty=line.dirty,
+            prefetched_unused=prefetched_unused,
+            pc=line.pc,
+        )
+        line.reset()
+        self.policy.on_invalidate(set_index, way)
+        return info
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line for ``address`` if present; return whether it was."""
+
+        set_index, tag = self.locate(address)
+        way = self._find_way(set_index, tag)
+        if way is None:
+            return False
+        self.stats.invalidations += 1
+        self._sets[set_index][way].reset()
+        self.policy.on_invalidate(set_index, way)
+        return True
+
+    def mark_dirty(self, address: int) -> bool:
+        """Mark the line dirty if present (used for write-back propagation)."""
+
+        line = self.get_line(address)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
+
+    # -- internals ----------------------------------------------------------
+    def _observe(self, set_index: int, address: int, pc: int | None) -> None:
+        observe = getattr(self.policy, "observe", None)
+        if observe is not None:
+            observe(set_index, address, pc)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.assoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name}, {self.size_bytes}B, "
+            f"{self.assoc}-way, {self.num_sets} sets)"
+        )

@@ -1,0 +1,94 @@
+"""DRAM model: latency, traffic accounting, bandwidth contention and energy.
+
+The paper's headline efficiency claims are expressed in DRAM traffic
+(figure 11: Triangel +10% over baseline vs +28.5% for Triage) and in a
+simple energy model where a DRAM access costs 25 units and an L3 access one
+unit (section 6.2).  This module provides the DRAM side of both.
+
+The bandwidth model is a single-server queue: each access occupies the
+channel for ``occupancy_cycles``; an access that arrives while the channel
+is busy waits.  For single-core runs at the paper's intensity this adds
+little, but in the multiprogrammed experiments (figure 16) it is what makes
+misplaced aggression (Triage-Deg4) hurt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DramStats:
+    """Raw DRAM event counters."""
+
+    demand_reads: int = 0
+    writes: int = 0
+    prefetch_fills: int = 0
+    total_wait_cycles: float = 0.0
+
+    @property
+    def total_accesses(self) -> int:
+        return self.demand_reads + self.writes + self.prefetch_fills
+
+    def reset(self) -> None:
+        self.demand_reads = 0
+        self.writes = 0
+        self.prefetch_fills = 0
+        self.total_wait_cycles = 0.0
+
+
+@dataclass
+class DramModel:
+    """Latency/traffic/energy model of the memory controller + LPDDR5 device.
+
+    Parameters
+    ----------
+    latency_cycles:
+        Idle-channel access latency seen by the L3 (row activation + CAS +
+        transfer), in core cycles.
+    occupancy_cycles:
+        Channel occupancy per access; sets the maximum sustainable bandwidth.
+    energy_per_access:
+        Energy units per DRAM access; the paper uses 25 with the L3 at 1.
+    """
+
+    latency_cycles: float = 160.0
+    occupancy_cycles: float = 8.0
+    energy_per_access: float = 25.0
+    stats: DramStats = field(default_factory=DramStats)
+    _next_free_cycle: float = field(default=0.0, repr=False)
+
+    def access(
+        self,
+        now: float,
+        *,
+        is_write: bool = False,
+        is_prefetch: bool = False,
+    ) -> float:
+        """Record an access starting at ``now``; return its total latency."""
+
+        wait = max(0.0, self._next_free_cycle - now)
+        start = now + wait
+        self._next_free_cycle = start + self.occupancy_cycles
+        self.stats.total_wait_cycles += wait
+        if is_write:
+            self.stats.writes += 1
+        elif is_prefetch:
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.demand_reads += 1
+        return wait + self.latency_cycles
+
+    @property
+    def total_accesses(self) -> int:
+        return self.stats.total_accesses
+
+    @property
+    def energy(self) -> float:
+        """Total DRAM dynamic energy in the paper's abstract units."""
+
+        return self.stats.total_accesses * self.energy_per_access
+
+    def reset(self) -> None:
+        self.stats.reset()
+        self._next_free_cycle = 0.0

@@ -1,0 +1,41 @@
+"""Access records exchanged between traces, the simulator and the hierarchy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessType(enum.Enum):
+    """Classification of a memory access as seen by the hierarchy."""
+
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """A single demand memory access from the trace.
+
+    Attributes
+    ----------
+    pc:
+        Program counter of the instruction performing the access.  Both
+        Triage and Triangel are PC-localised (paper section 2), so the PC is
+        as important to the prefetchers as the address itself.
+    address:
+        Physical byte address accessed.
+    is_write:
+        Whether the access is a store.  Stores participate in cache state but
+        the temporal prefetchers train on the combined miss stream just as
+        loads do.
+    """
+
+    pc: int
+    address: int
+    is_write: bool = False
+
+    @property
+    def access_type(self) -> AccessType:
+        return AccessType.STORE if self.is_write else AccessType.LOAD

@@ -1,0 +1,19 @@
+"""Prefetcher interfaces and the conventional stride baseline.
+
+The paper's baseline system includes a degree-8 stride prefetcher at the L1
+data cache (table 2); Triage and Triangel sit at the L2 and prefetch into it.
+This package defines the interface all prefetchers share
+(:class:`~repro.prefetch.base.Prefetcher`), the decision record they return
+(:class:`~repro.prefetch.base.PrefetchDecision`), and the stride prefetcher
+(:class:`~repro.prefetch.stride.StridePrefetcher`).
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetcherStats, PrefetchDecision
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetcherStats",
+    "PrefetchDecision",
+    "StridePrefetcher",
+]

@@ -1,0 +1,124 @@
+"""Common prefetcher interface.
+
+Every prefetcher in the model — the stride baseline, Triage and Triangel —
+implements :class:`Prefetcher`.  The simulation engine calls
+:meth:`Prefetcher.observe` once per demand access with the outcome of that
+access (which level hit, whether the L2 missed, whether a previously
+prefetched line was used for the first time) and receives back a list of
+:class:`PrefetchDecision` records describing the lines to bring in.  The
+engine then performs the fills and attributes traffic and accuracy.
+
+Keeping the interface observation-based (rather than letting prefetchers
+mutate caches directly) matches the hardware structure — prefetchers snoop
+the miss stream and issue requests — and makes the prefetchers directly
+unit-testable on synthetic access sequences without a full hierarchy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import DemandResult, MemoryHierarchy
+
+
+@dataclass(slots=True)
+class PrefetchDecision:
+    """A single prefetch the engine should issue.
+
+    Attributes
+    ----------
+    address:
+        Line-aligned byte address to prefetch.
+    target_level:
+        ``"l1"`` or ``"l2"`` — which cache the prefetch fills into.
+    extra_latency:
+        Latency already spent before the fill can begin (for temporal
+        prefetchers this is the Markov-table lookup cost, 25 cycles in the
+        paper's setup, possibly avoided when the Metadata Reuse Buffer hits).
+    metadata_source:
+        Where the prediction came from (``"markov"``, ``"mrb"``,
+        ``"stride"``); used by tests and traffic accounting.
+    """
+
+    address: int
+    target_level: str = "l2"
+    extra_latency: float = 0.0
+    metadata_source: str = "markov"
+
+
+@dataclass
+class PrefetcherStats:
+    """Counters shared by every prefetcher."""
+
+    triggers: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped_resident: int = 0
+    markov_lookups: int = 0
+    markov_updates: int = 0
+    markov_update_skips: int = 0
+    mrb_hits: int = 0
+    training_events: int = 0
+
+    def reset(self) -> None:
+        for name in (
+            "triggers",
+            "prefetches_issued",
+            "prefetches_dropped_resident",
+            "markov_lookups",
+            "markov_updates",
+            "markov_update_skips",
+            "mrb_hits",
+            "training_events",
+        ):
+            setattr(self, name, 0)
+
+
+class Prefetcher(ABC):
+    """Interface shared by the stride, Triage and Triangel prefetchers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = PrefetcherStats()
+        self.hierarchy: MemoryHierarchy | None = None
+
+    def attach(self, hierarchy: MemoryHierarchy) -> None:
+        """Give the prefetcher access to the hierarchy it serves.
+
+        Temporal prefetchers need this for three things: charging
+        Markov-table lookups as L3 accesses, resizing the L3's metadata
+        partition, and (for Triangel) checking whether a sampled target is
+        already resident in the L2 (section 4.4.2).
+        """
+
+        self.hierarchy = hierarchy
+
+    @abstractmethod
+    def observe(
+        self, pc: int, line_addr: int, result: DemandResult, now: float
+    ) -> list[PrefetchDecision]:
+        """Observe one demand access and return prefetches to issue."""
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    # -- conveniences used by several implementations -----------------------
+    def _target_resident(self, address: int) -> bool:
+        """Whether ``address`` is already in the L2 (no prefetch needed)."""
+
+        return self.hierarchy is not None and self.hierarchy.l2.probe(address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NullPrefetcher(Prefetcher):
+    """A prefetcher that never prefetches (used for the no-prefetch baseline)."""
+
+    def __init__(self) -> None:
+        super().__init__("none")
+
+    def observe(
+        self, pc: int, line_addr: int, result: DemandResult, now: float
+    ) -> list[PrefetchDecision]:
+        return []

@@ -1,0 +1,48 @@
+"""The fixed Triage baseline (paper sections 2 and 3).
+
+Triage (Wu et al., MICRO 2019) is the state-of-the-art on-chip temporal
+prefetcher that Triangel builds on.  The paper's section 3 documents the
+inconsistencies in the original Triage/Triage-ISR descriptions and chooses
+implementable fixes; this package implements that *fixed* baseline:
+
+* :mod:`repro.triage.lookup_table` — the 1024-entry upper-bits lookup table
+  used by the 32-bit metadata format (section 3.1, figure 2).
+* :mod:`repro.triage.metadata` — the Markov-entry target formats studied in
+  section 6.5: 32-bit with LUT (16-way or fully associative), 32-bit ideal,
+  42-bit full address, and the fragmented 10-bit-offset variant.
+* :mod:`repro.triage.markov_table` — the Markov table stored in the L3
+  partition with sub-set indexing and re-indexing on resize (section 3.2)
+  and the single confidence bit (section 3.4).
+* :mod:`repro.triage.training_table` — the PC-indexed training table.
+* :mod:`repro.triage.bloom` — the Bloom-filter partition sizer (section 3.5).
+* :mod:`repro.triage.triage` — the Triage prefetcher itself, with the
+  degree-1/degree-4 and lookahead-2 configurations used in the evaluation.
+"""
+
+from repro.triage.bloom import BloomFilter, BloomPartitionSizer
+from repro.triage.lookup_table import LookupTable
+from repro.triage.markov_table import MarkovTable
+from repro.triage.metadata import (
+    Full42Format,
+    Ideal32Format,
+    Lut32Format,
+    MetadataFormat,
+    make_metadata_format,
+)
+from repro.triage.training_table import TriageTrainingTable
+from repro.triage.triage import TriageConfig, TriagePrefetcher
+
+__all__ = [
+    "BloomFilter",
+    "BloomPartitionSizer",
+    "LookupTable",
+    "MarkovTable",
+    "MetadataFormat",
+    "Lut32Format",
+    "Ideal32Format",
+    "Full42Format",
+    "make_metadata_format",
+    "TriageTrainingTable",
+    "TriageConfig",
+    "TriagePrefetcher",
+]

@@ -1,0 +1,198 @@
+"""Markov-table target-encoding formats (paper sections 3.1, 4.3 and 6.5).
+
+A Markov-table entry stores a (lookup address, prefetch target) pair inside
+the L3's metadata partition.  The lookup address is always represented the
+same way — implicitly by the set it indexes plus a 10-bit hashed tag — but
+the paper studies several encodings for the *prefetch target*:
+
+``32-bit-LUT-16-way`` (Triage's default)
+    An 11-bit offset plus a 10-bit index into the upper-bits lookup table,
+    so the whole entry fits in 32 bits and 16 entries pack into a 64-byte
+    cache line.  Reconstructed targets go wrong when the LUT slot is reused.
+``32-bit-LUT-1024-way``
+    The same, but with a fully-associative LUT (figure 18 shows no benefit).
+``32-bit-ideal``
+    A hypothetical perfect lookup table: same density, never a wrong
+    reconstruction.  Not implementable in hardware; included as the upper
+    bound the paper plots in figure 18.
+``42-bit``
+    Triangel's format (section 4.3): the full 31-bit line address is stored
+    directly, 12 entries per cache line, no LUT, 128 GB range.
+``32-bit-LUT-16-way-10b-offset``
+    The default format with one fewer offset bit, modelling doubled physical
+    page fragmentation (section 6.5); LUT pressure doubles and accuracy
+    collapses (figure 19).
+
+Each format exposes the same ``encode``/``decode`` pair plus the number of
+entries that fit per 64-byte line, which sets the Markov table's capacity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.memory.address import CACHE_LINE_BITS
+from repro.triage.lookup_table import LookupTable
+
+
+@dataclass(slots=True)
+class EncodedTarget:
+    """Opaque encoded form of a prefetch target, stored in a Markov entry."""
+
+    payload: int
+    generation: int = 0
+
+
+class MetadataFormat(ABC):
+    """Interface for Markov-table target encodings."""
+
+    #: short name used in configuration and reports
+    name: str = "abstract"
+    #: number of Markov entries that fit in one 64-byte cache line
+    entries_per_line: int = 16
+    #: nominal storage per entry, in bits (for sizing reports)
+    bits_per_entry: int = 32
+
+    @abstractmethod
+    def encode(self, target_line_address: int) -> EncodedTarget:
+        """Encode a line-aligned byte address into the stored payload."""
+
+    @abstractmethod
+    def decode(self, encoded: EncodedTarget) -> int | None:
+        """Reconstruct a line-aligned byte address from the stored payload.
+
+        May return a *different* address than was encoded (LUT staleness) or
+        ``None`` when no address can be reconstructed at all.
+        """
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.bits_per_entry}b/entry, {self.entries_per_line}/line)"
+
+
+class Lut32Format(MetadataFormat):
+    """32-bit entries with an offset + lookup-table-index target encoding.
+
+    Parameters
+    ----------
+    lookup_table:
+        The shared :class:`LookupTable` holding upper address bits.
+    offset_bits:
+        Number of line-address bits stored explicitly (11 in the paper's
+        default, 10 for the fragmentation study).  Everything above them goes
+        through the lookup table.
+    """
+
+    def __init__(
+        self,
+        lookup_table: LookupTable | None = None,
+        offset_bits: int = 11,
+        name: str | None = None,
+    ) -> None:
+        if offset_bits <= 0:
+            raise ValueError("offset_bits must be positive")
+        self.lookup_table = lookup_table or LookupTable()
+        self.offset_bits = offset_bits
+        self.entries_per_line = 16
+        self.bits_per_entry = 32
+        if name is not None:
+            self.name = name
+        elif self.lookup_table.assoc >= self.lookup_table.entries:
+            self.name = "32-bit-LUT-1024-way"
+        elif offset_bits == 11:
+            self.name = "32-bit-LUT-16-way"
+        else:
+            self.name = f"32-bit-LUT-16-way-{offset_bits}b-offset"
+
+    def _split(self, target_line_address: int) -> tuple[int, int]:
+        line_number = target_line_address >> CACHE_LINE_BITS
+        offset = line_number & ((1 << self.offset_bits) - 1)
+        upper = line_number >> self.offset_bits
+        return upper, offset
+
+    def encode(self, target_line_address: int) -> EncodedTarget:
+        upper, offset = self._split(target_line_address)
+        index, generation = self.lookup_table.insert(upper)
+        payload = (index << self.offset_bits) | offset
+        return EncodedTarget(payload=payload, generation=generation)
+
+    def decode(self, encoded: EncodedTarget) -> int | None:
+        offset = encoded.payload & ((1 << self.offset_bits) - 1)
+        index = encoded.payload >> self.offset_bits
+        upper = self.lookup_table.value_at(index, encoded.generation)
+        if upper is None:
+            return None
+        line_number = (upper << self.offset_bits) | offset
+        return line_number << CACHE_LINE_BITS
+
+
+class Ideal32Format(MetadataFormat):
+    """Hypothetical perfect lookup table (figure 18's ``32-bit ideal``).
+
+    Keeps the 32-bit density (16 entries per line) but always reconstructs
+    the exact address that was encoded.  The paper includes it purely as an
+    upper bound on what LUT compression could achieve.
+    """
+
+    name = "32-bit-ideal"
+    entries_per_line = 16
+    bits_per_entry = 32
+
+    def encode(self, target_line_address: int) -> EncodedTarget:
+        return EncodedTarget(payload=target_line_address)
+
+    def decode(self, encoded: EncodedTarget) -> int | None:
+        return encoded.payload
+
+
+class Full42Format(MetadataFormat):
+    """Triangel's 42-bit entries: the full line address, no lookup table.
+
+    Section 4.3 / figure 6: the target is the 31-bit line address shifted by
+    the 6 cache-line zero bits (128 GB range); together with the 10-bit
+    lookup hash and confidence bit an entry is ~42 bits, so 12 entries fit in
+    a 64-byte line — 3/4 of the 32-bit format's density, in exchange for
+    immunity to physical-frame-locality assumptions.
+    """
+
+    name = "42-bit"
+    entries_per_line = 12
+    bits_per_entry = 42
+
+    def encode(self, target_line_address: int) -> EncodedTarget:
+        return EncodedTarget(payload=target_line_address)
+
+    def decode(self, encoded: EncodedTarget) -> int | None:
+        return encoded.payload
+
+
+def make_metadata_format(
+    name: str,
+    lut_entries: int = 1024,
+    lut_assoc: int = 16,
+    offset_bits: int = 11,
+) -> MetadataFormat:
+    """Build one of the named formats from figure 18.
+
+    ``lut_entries``/``lut_assoc``/``offset_bits`` only matter for the LUT
+    variants; scaled-down experiments shrink them in proportion to the rest
+    of the system so that the same capacity pressure appears on short traces.
+    """
+
+    key = name.lower()
+    if key in ("42-bit", "42bit", "full", "triangel"):
+        return Full42Format()
+    if key in ("32-bit-ideal", "ideal"):
+        return Ideal32Format()
+    if key in ("32-bit-lut-16-way", "lut", "lut-16"):
+        return Lut32Format(LookupTable(lut_entries, lut_assoc), offset_bits)
+    if key in ("32-bit-lut-1024-way", "lut-full", "lut-fully-associative"):
+        return Lut32Format(
+            LookupTable(lut_entries, lut_entries), offset_bits, name="32-bit-LUT-1024-way"
+        )
+    if key in ("32-bit-lut-16-way-10b-offset", "lut-10b"):
+        return Lut32Format(LookupTable(lut_entries, lut_assoc), offset_bits - 1)
+    raise ValueError(
+        f"unknown metadata format {name!r}; expected one of: 42-bit, 32-bit-ideal, "
+        "32-bit-LUT-16-way, 32-bit-LUT-1024-way, 32-bit-LUT-16-way-10b-offset"
+    )

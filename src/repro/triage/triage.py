@@ -1,0 +1,181 @@
+"""The Triage temporal prefetcher (fixed baseline, paper sections 2-3).
+
+Operation on every L2 demand miss or tagged prefetch hit (figure 1):
+
+1. the PC indexes the training table to retrieve the previous miss seen at
+   that PC;
+2. the (previous, current) pair trains the Markov table held in the L3
+   partition;
+3. the current address is looked up in the Markov table and, if a target is
+   found, a prefetch into the L2 is issued; with degree > 1 the lookup is
+   chained through successive targets, each chained step costing another
+   Markov (L3) access and another 25 cycles of lookup latency;
+4. the Bloom-filter sizer decides how many L3 ways the partition should
+   occupy.
+
+The evaluation uses three Triage configurations: the default degree-1
+``Triage``, the aggressive ``Triage-Deg4``, and ``Triage-Deg4-Look2`` which
+additionally borrows Triangel's lookahead-2 training (section 6.1) to
+isolate the benefit of aggression control from the other improvements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import DemandResult, MemoryHierarchy
+from repro.prefetch.base import Prefetcher, PrefetchDecision
+from repro.triage.bloom import BloomPartitionSizer
+from repro.triage.markov_table import MarkovTable
+from repro.triage.metadata import make_metadata_format
+from repro.triage.training_table import TriageTrainingTable
+
+
+@dataclass
+class TriageConfig:
+    """Configuration of the Triage baseline.
+
+    The defaults correspond to the paper's ``Triage`` bars (degree 1,
+    lookahead 1, 32-bit LUT metadata, HawkEye Markov replacement, Bloom
+    sizing); the evaluation's other bars are produced by overriding
+    ``degree``, ``lookahead`` and ``metadata_format``.
+    """
+
+    degree: int = 1
+    lookahead: int = 1
+    metadata_format: str = "32-bit-LUT-16-way"
+    markov_replacement: str = "hawkeye"
+    max_markov_ways: int = 8
+    markov_tag_bits: int = 10
+    training_entries: int = 512
+    training_assoc: int = 4
+    markov_latency: float = 25.0
+    # Lookup-table dimensions for the 32-bit formats; scaled experiments
+    # shrink these together with everything else.
+    lut_entries: int = 1024
+    lut_assoc: int = 16
+    lut_offset_bits: int = 11
+    # Bloom-filter sizer parameters.
+    bloom_window: int = 4096
+    bloom_bias: float = 1.0
+    bloom_bits: int = 1 << 14
+    bloom_hashes: int = 4
+    # Cap on the Markov capacity expressed in entries; ``None`` means the
+    # partition geometry is the only limit.  Used by the replacement study
+    # (section 3.3's artificially limited 256 KiB experiment).
+    max_entries_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0:
+            raise ValueError("degree must be positive")
+        if self.lookahead not in (1, 2):
+            raise ValueError("lookahead must be 1 or 2")
+
+
+class TriagePrefetcher(Prefetcher):
+    """The fixed Triage baseline prefetcher."""
+
+    def __init__(self, config: TriageConfig | None = None, name: str | None = None) -> None:
+        self.config = config or TriageConfig()
+        if name is None:
+            name = f"triage-deg{self.config.degree}"
+            if self.config.lookahead > 1:
+                name += f"-look{self.config.lookahead}"
+        super().__init__(name)
+        self.training_table = TriageTrainingTable(
+            entries=self.config.training_entries,
+            assoc=self.config.training_assoc,
+            history_depth=self.config.lookahead,
+        )
+        self.markov: MarkovTable | None = None
+        self.sizer: BloomPartitionSizer | None = None
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, hierarchy: MemoryHierarchy) -> None:
+        super().attach(hierarchy)
+        metadata = make_metadata_format(
+            self.config.metadata_format,
+            lut_entries=self.config.lut_entries,
+            lut_assoc=self.config.lut_assoc,
+            offset_bits=self.config.lut_offset_bits,
+        )
+        l3 = hierarchy.l3
+        self.markov = MarkovTable(
+            l3_sets=l3.num_sets,
+            max_ways=min(self.config.max_markov_ways, l3.max_reserved_ways),
+            metadata_format=metadata,
+            tag_bits=self.config.markov_tag_bits,
+            replacement=self.config.markov_replacement,
+        )
+        self.sizer = BloomPartitionSizer(
+            entries_per_way=self.markov.entries_per_way(),
+            max_ways=self.markov.max_ways,
+            window=self.config.bloom_window,
+            bias=self.config.bloom_bias,
+            bloom_bits=self.config.bloom_bits,
+            bloom_hashes=self.config.bloom_hashes,
+        )
+
+    # -- main entry point --------------------------------------------------------
+    def observe(
+        self, pc: int, line_addr: int, result: DemandResult, now: float
+    ) -> list[PrefetchDecision]:
+        if not (result.l2_miss or result.l2_prefetch_first_use):
+            return []
+        if self.markov is None or self.sizer is None or self.hierarchy is None:
+            raise RuntimeError("TriagePrefetcher must be attached to a hierarchy first")
+
+        self.stats.triggers += 1
+        self._resize_partition(line_addr)
+        self._train(pc, line_addr)
+        return self._generate_prefetches(line_addr)
+
+    # -- internals ------------------------------------------------------------------
+    def _resize_partition(self, line_addr: int) -> None:
+        decision = self.sizer.observe(line_addr)
+        if decision is not None and decision != self.markov.ways:
+            self.markov.set_ways(decision)
+            self.hierarchy.set_markov_ways(decision)
+
+    def _train(self, pc: int, line_addr: int) -> None:
+        entry, _allocated = self.training_table.find_or_allocate(pc)
+        index_address = entry.history(self.config.lookahead)
+        if index_address is not None and index_address != line_addr:
+            if not self._capacity_exhausted():
+                self.markov.train(index_address, line_addr, pc)
+                self.hierarchy.record_markov_access()
+                self.stats.markov_updates += 1
+        entry.push(line_addr, self.config.lookahead)
+        self.stats.training_events += 1
+
+    def _capacity_exhausted(self) -> bool:
+        limit = self.config.max_entries_override
+        if limit is None:
+            return False
+        return self.markov.occupancy() >= limit
+
+    def _generate_prefetches(self, line_addr: int) -> list[PrefetchDecision]:
+        decisions: list[PrefetchDecision] = []
+        current = line_addr
+        accumulated_latency = 0.0
+        for _step in range(self.config.degree):
+            accumulated_latency += self.config.markov_latency
+            target = self.markov.lookup(current)
+            self.hierarchy.record_markov_access()
+            self.stats.markov_lookups += 1
+            if target is None:
+                break
+            if target != current and not self._target_resident(target):
+                decisions.append(
+                    PrefetchDecision(
+                        address=target,
+                        target_level="l2",
+                        extra_latency=accumulated_latency,
+                        metadata_source="markov",
+                    )
+                )
+                self.stats.prefetches_issued += 1
+            else:
+                self.stats.prefetches_dropped_resident += 1
+            current = target
+        return decisions

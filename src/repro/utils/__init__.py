@@ -1,0 +1,26 @@
+"""Shared low-level utilities used across the reproduction.
+
+The prefetchers described in the Triangel paper rely on a handful of small
+hardware-friendly primitives: XOR-folded tag hashes, linear-congruential
+pseudo-random sampling (section 4.4.3 of the paper explicitly notes that
+"simple methods such as linear congruential are fine"), and saturating
+counters of various widths.  This package provides software models of those
+primitives so that every structure in :mod:`repro.core` and
+:mod:`repro.triage` is built from the same vocabulary the paper uses.
+"""
+
+from repro.utils.counters import SaturatingCounter
+from repro.utils.hashing import (
+    LinearCongruentialSampler,
+    fold_hash,
+    mix64,
+    tag_hash,
+)
+
+__all__ = [
+    "SaturatingCounter",
+    "LinearCongruentialSampler",
+    "fold_hash",
+    "mix64",
+    "tag_hash",
+]

@@ -1,0 +1,107 @@
+"""Saturating counters.
+
+Nearly every adaptive decision in Triage and Triangel is made with small
+saturating counters: the Markov-table confidence bit (1 bit), Triangel's
+ReuseConf (4 bits), BasePatternConf / HighPatternConf (4 bits each, with
+asymmetric increment/decrement factors — section 4.4.2), and the per-PC
+SampleRate (4 bits, section 4.4.3).  :class:`SaturatingCounter` models all of
+them.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """A bounded counter that saturates at both ends.
+
+    Parameters
+    ----------
+    bits:
+        Width of the counter; the maximum value is ``2**bits - 1``.
+    initial:
+        Starting value (also used by :meth:`reset`).  Triangel initialises
+        its 4-bit confidence counters to 8, i.e. the mid-point.
+    increment:
+        Amount added by :meth:`increase`.  BasePatternConf uses +1.
+    decrement:
+        Amount subtracted by :meth:`decrease`.  BasePatternConf uses -2 so it
+        only stays high when prefetches are accurate more than 2/3 of the
+        time; HighPatternConf uses -5 for a 5/6 threshold (section 4.4.2).
+    """
+
+    __slots__ = ("bits", "maximum", "initial", "increment", "decrement", "_value")
+
+    def __init__(
+        self,
+        bits: int = 4,
+        initial: int = 8,
+        increment: int = 1,
+        decrement: int = 1,
+    ) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} outside [0, {self.maximum}] for {bits}-bit counter"
+            )
+        if increment <= 0 or decrement <= 0:
+            raise ValueError("increment and decrement must be positive")
+        self.initial = initial
+        self.increment = increment
+        self.decrement = decrement
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+
+        return self._value
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when the counter has reached its maximum value."""
+
+        return self._value == self.maximum
+
+    def increase(self, amount: int | None = None) -> int:
+        """Add ``amount`` (default: the configured increment), saturating."""
+
+        step = self.increment if amount is None else amount
+        self._value = min(self.maximum, self._value + step)
+        return self._value
+
+    def decrease(self, amount: int | None = None) -> int:
+        """Subtract ``amount`` (default: the configured decrement), saturating at zero."""
+
+        step = self.decrement if amount is None else amount
+        self._value = max(0, self._value - step)
+        return self._value
+
+    def reset(self) -> None:
+        """Return the counter to its initial value."""
+
+        self._value = self.initial
+
+    def set(self, value: int) -> None:
+        """Force the counter to ``value`` (clamped to the representable range)."""
+
+        self._value = max(0, min(self.maximum, value))
+
+    def above_initial(self) -> bool:
+        """True when strictly above the initial (mid-point) value.
+
+        Triangel gates both metadata storage and prefetch issue on counters
+        being *above* their initial value (section 4.5): "When ReuseConf or
+        BasePatternConf are at their initial value (8, or half way) or below,
+        we neither issue prefetches nor store entries in the Markov table".
+        """
+
+        return self._value > self.initial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SaturatingCounter(value={self._value}, bits={self.bits}, "
+            f"+{self.increment}/-{self.decrement})"
+        )

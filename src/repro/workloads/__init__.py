@@ -1,0 +1,49 @@
+"""Workload generators: the traces every experiment runs on.
+
+The paper evaluates on the seven most irregular, memory-intensive SPEC
+CPU2006 workloads (Xalancbmk, Omnetpp, Mcf, GCC-166, Astar, Soplex-3500 and
+Sphinx3), multiprogrammed pairs of them, and Graph500 search as an
+adversarial workload.  SPEC binaries and gem5 checkpoints are not available
+to this reproduction, so :mod:`repro.workloads.spec` generates synthetic
+traces that recreate each workload's *temporal-prefetching-relevant*
+characteristics (working-set size relative to the Markov capacity, exactness
+of repetition, footprint fragmentation, stride content), and
+:mod:`repro.workloads.graph500` generates a real breadth-first search over a
+synthetic scale-free graph.  Micro-workloads used by tests and examples live
+in :mod:`repro.workloads.micro`.
+"""
+
+from repro.workloads.graph500 import generate_graph500_trace
+from repro.workloads.micro import (
+    generate_pointer_chase_trace,
+    generate_random_trace,
+    generate_sequential_trace,
+)
+from repro.workloads.registry import (
+    SPEC_WORKLOADS,
+    available_workloads,
+    generate_workload,
+)
+from repro.workloads.spec import SPEC_SPECS, generate_spec_trace
+from repro.workloads.synthetic import (
+    StreamSpec,
+    SyntheticWorkloadSpec,
+    generate_synthetic_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "Trace",
+    "StreamSpec",
+    "SyntheticWorkloadSpec",
+    "generate_synthetic_trace",
+    "SPEC_SPECS",
+    "generate_spec_trace",
+    "generate_graph500_trace",
+    "generate_pointer_chase_trace",
+    "generate_sequential_trace",
+    "generate_random_trace",
+    "SPEC_WORKLOADS",
+    "available_workloads",
+    "generate_workload",
+]

@@ -1,0 +1,158 @@
+"""Graph500-search-like adversarial workload (paper section 6.4).
+
+The paper stresses the prefetchers with Graph500 breadth-first search on two
+inputs: ``s16 e10`` (a ~7 MiB graph that *fits* the Markov table's maximum
+capacity but shows too little repetition for temporal prefetching to pay
+off) and ``s21 e10`` (a ~700 MiB graph whose footprint dwarfs it).  Neither
+has useful temporal correlation, so a well-behaved prefetcher should decline
+to grow its metadata partition — which Triage cannot do, costing it both L3
+hits and DRAM traffic (figure 17).
+
+This module builds a synthetic scale-free graph in CSR (compressed sparse
+row) form and emits the memory-access stream of an actual BFS over it:
+reads of the row-offset array, sequential reads of each vertex's edge list,
+and scattered reads/writes of the visited array.  Because BFS visits every
+edge once per traversal and traversal order depends on the root, the stream
+has exactly the "cache- and memory-intensive but not temporally correlated"
+character the paper relies on.  Graph sizes are expressed relative to the
+scaled system: the ``s16``-like input fits the scaled Markov capacity, the
+``s21``-like input exceeds it several times over.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.memory.request import MemoryAccess
+from repro.workloads.trace import Trace
+
+#: Byte sizes of the graph's arrays (per element).
+_OFFSET_BYTES = 8
+_EDGE_BYTES = 8
+_VISITED_BYTES = 4
+
+#: Virtual base addresses of the three arrays.
+_OFFSETS_BASE = 0x4000_0000
+_EDGES_BASE = 0x5000_0000
+_VISITED_BASE = 0x6000_0000
+
+#: PCs of the BFS loop's three access sites.
+_PC_OFFSETS = 0x400900
+_PC_EDGES = 0x400910
+_PC_VISITED = 0x400920
+
+
+@dataclass
+class GraphSpec:
+    """Parameters of the synthetic scale-free graph."""
+
+    name: str
+    vertices: int
+    edge_factor: int = 8
+    roots: int = 2
+    skew: float = 2.0
+    seed: int = 0x6789
+
+
+#: The two inputs used in figure 17, scaled to the simulation system.
+GRAPH500_SPECS: dict[str, GraphSpec] = {
+    "graph500_s16": GraphSpec(name="graph500_s16", vertices=3_000, edge_factor=8, roots=3),
+    "graph500_s21": GraphSpec(name="graph500_s21", vertices=16_000, edge_factor=8, roots=2),
+}
+
+
+def _build_graph(spec: GraphSpec) -> tuple[list[int], list[int]]:
+    """Build a CSR adjacency structure with a power-law degree distribution."""
+
+    rng = random.Random(spec.seed)
+    edges_per_vertex: list[list[int]] = [[] for _ in range(spec.vertices)]
+    total_edges = spec.vertices * spec.edge_factor
+    for _ in range(total_edges):
+        # Skewed endpoint selection gives a scale-free-like degree spread,
+        # as the Kronecker generator used by Graph500 does.
+        source = int(spec.vertices * rng.random() ** spec.skew)
+        destination = rng.randrange(spec.vertices)
+        edges_per_vertex[min(source, spec.vertices - 1)].append(destination)
+    offsets = [0]
+    edges: list[int] = []
+    for adjacency in edges_per_vertex:
+        edges.extend(adjacency)
+        offsets.append(len(edges))
+    return offsets, edges
+
+
+def generate_graph500_trace(
+    name: str = "graph500_s16",
+    max_accesses: int | None = 45_000,
+    seed: int | None = None,
+) -> Trace:
+    """Emit the memory-access trace of BFS over the named graph input."""
+
+    key = name.lower()
+    if key not in GRAPH500_SPECS:
+        raise ValueError(
+            f"unknown Graph500 input {name!r}; expected one of {sorted(GRAPH500_SPECS)}"
+        )
+    spec = GRAPH500_SPECS[key]
+    if seed is not None:
+        spec = GraphSpec(
+            name=spec.name,
+            vertices=spec.vertices,
+            edge_factor=spec.edge_factor,
+            roots=spec.roots,
+            skew=spec.skew,
+            seed=seed,
+        )
+    offsets, edges = _build_graph(spec)
+    rng = random.Random(spec.seed ^ 0x5EAF)
+
+    trace = Trace(name=spec.name)
+
+    def emit(pc: int, address: int, is_write: bool = False) -> bool:
+        """Append one access; return False once the trace is full."""
+
+        trace.append(MemoryAccess(pc=pc, address=address, is_write=is_write))
+        return max_accesses is None or len(trace) < max_accesses
+
+    done = False
+    for _root_index in range(spec.roots):
+        if done:
+            break
+        root = rng.randrange(spec.vertices)
+        visited = [False] * spec.vertices
+        visited[root] = True
+        queue: deque[int] = deque([root])
+        while queue and not done:
+            vertex = queue.popleft()
+            if not emit(_PC_OFFSETS, _OFFSETS_BASE + vertex * _OFFSET_BYTES):
+                done = True
+                break
+            start, stop = offsets[vertex], offsets[vertex + 1]
+            for edge_index in range(start, stop):
+                if not emit(_PC_EDGES, _EDGES_BASE + edge_index * _EDGE_BYTES):
+                    done = True
+                    break
+                neighbour = edges[edge_index]
+                if not emit(
+                    _PC_VISITED,
+                    _VISITED_BASE + neighbour * _VISITED_BYTES,
+                    is_write=not visited[neighbour],
+                ):
+                    done = True
+                    break
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    queue.append(neighbour)
+
+    trace.metadata = {
+        "generator": "graph500",
+        "vertices": spec.vertices,
+        "edge_factor": spec.edge_factor,
+        "edges": len(edges),
+        "roots": spec.roots,
+        "seed": spec.seed,
+        "footprint_lines": trace.unique_lines(),
+    }
+    return trace

@@ -1,0 +1,74 @@
+"""Workload registry: name → trace generator.
+
+The experiment harness refers to workloads by name (the same names the
+paper's figures use on their x axes); this registry maps those names onto
+the generators in :mod:`repro.workloads.spec`, :mod:`repro.workloads.
+graph500` and :mod:`repro.workloads.micro`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.graph500 import GRAPH500_SPECS, generate_graph500_trace
+from repro.workloads.micro import (
+    generate_pointer_chase_trace,
+    generate_random_trace,
+    generate_sequential_trace,
+)
+from repro.workloads.spec import SPEC_SPECS, generate_spec_trace
+from repro.workloads.trace import Trace
+
+#: The seven SPEC-like workloads, in the order the paper's figures use.
+SPEC_WORKLOADS: tuple[str, ...] = (
+    "xalan",
+    "omnet",
+    "mcf",
+    "gcc_166",
+    "astar",
+    "soplex_3500",
+    "sphinx3",
+)
+
+#: The multiprogrammed pairs of figure 16 (Xalan doubled to make an even set).
+MULTIPROGRAM_PAIRS: tuple[tuple[str, str], ...] = (
+    ("xalan", "omnet"),
+    ("mcf", "gcc_166"),
+    ("astar", "soplex_3500"),
+    ("sphinx3", "xalan"),
+)
+
+#: The Graph500 inputs of figure 17.
+GRAPH500_WORKLOADS: tuple[str, ...] = ("graph500_s16", "graph500_s21")
+
+_MICRO_GENERATORS: dict[str, Callable[..., Trace]] = {
+    "pointer_chase": generate_pointer_chase_trace,
+    "sequential": generate_sequential_trace,
+    "random": generate_random_trace,
+}
+
+
+def available_workloads() -> list[str]:
+    """All workload names the registry can generate."""
+
+    return sorted(set(SPEC_SPECS) | set(GRAPH500_SPECS) | set(_MICRO_GENERATORS))
+
+
+def generate_workload(name: str, **overrides) -> Trace:
+    """Generate the named workload's trace.
+
+    ``overrides`` are forwarded to the underlying generator (``length`` and
+    ``seed`` for the SPEC-like workloads, ``max_accesses``/``seed`` for
+    Graph500, and the micro generators' own parameters).
+    """
+
+    key = name.lower()
+    if key in SPEC_SPECS:
+        return generate_spec_trace(key, **overrides)
+    if key in GRAPH500_SPECS:
+        return generate_graph500_trace(key, **overrides)
+    if key in _MICRO_GENERATORS:
+        return _MICRO_GENERATORS[key](**overrides)
+    raise ValueError(
+        f"unknown workload {name!r}; available: {available_workloads()}"
+    )

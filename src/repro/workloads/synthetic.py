@@ -1,0 +1,217 @@
+"""Parametric synthetic trace generation.
+
+Temporal prefetchers only ever see the L2 miss / tagged-prefetch-hit stream,
+so what determines their behaviour on a workload is a small set of stream
+properties:
+
+* how large the per-PC repeating sequences are, relative to the Markov
+  table's maximum capacity (drives ReuseConf and the Graph500 blow-ups);
+* how *exactly* the sequences repeat — strict order (Xalan-like), loosely
+  shuffled order (Omnet/Sphinx-like, where the Second-Chance Sampler
+  matters), or barely at all (Astar/Soplex-like poor-quality streams);
+* how much of the footprint is spread over fragmented physical pages, which
+  is what breaks Triage's lookup-table compression (figures 18/19);
+* how much easy, stride-predictable or cache-resident traffic surrounds the
+  irregular stream, which sets the baseline's miss rate.
+
+:class:`SyntheticWorkloadSpec` exposes exactly these knobs and
+:func:`generate_synthetic_trace` turns a spec into a concrete
+:class:`~repro.workloads.trace.Trace`.  The seven SPEC-like workloads in
+:mod:`repro.workloads.spec` are nothing more than named parameterisations of
+this generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.memory.address import CACHE_LINE_SIZE, PageMapper
+from repro.memory.request import MemoryAccess
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class StreamSpec:
+    """One PC-localised access stream within a workload.
+
+    Parameters
+    ----------
+    sequence_lines:
+        Number of distinct cache lines in the repeating sequence.  Relative
+        to the (scaled) Markov capacity this decides whether temporal
+        prefetching can cover the stream at all.
+    repetition:
+        Fraction of the stream's accesses that follow the recorded sequence;
+        the remainder are fresh, never-repeated lines (noise), which is what
+        makes a stream "poor quality" for temporal prefetching.
+    jitter:
+        Probability that each small block of the sequence is shuffled on a
+        repeat.  Zero gives strict sequences; moderate values give the
+        "temporally close but out of order" behaviour where the
+        Second-Chance Sampler earns its keep.
+    jitter_block:
+        Size of the locally shuffled blocks.
+    stride:
+        If true, the stream is a sequential (stride-1) walk instead of a
+        shuffled temporal sequence — covered by the baseline stride
+        prefetcher, not the temporal one.
+    weight:
+        Relative share of the workload's irregular accesses this stream gets.
+    span_factor:
+        The virtual region the sequence's lines are scattered over, as a
+        multiple of the sequence size (larger values spread the footprint
+        over more pages, increasing LUT pressure under fragmentation).
+    """
+
+    sequence_lines: int
+    repetition: float = 1.0
+    jitter: float = 0.0
+    jitter_block: int = 4
+    stride: bool = False
+    weight: float = 1.0
+    span_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sequence_lines <= 0:
+            raise ValueError("sequence_lines must be positive")
+        if not 0.0 <= self.repetition <= 1.0:
+            raise ValueError("repetition must be in [0, 1]")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass
+class SyntheticWorkloadSpec:
+    """A complete synthetic workload: hot data plus irregular streams."""
+
+    name: str
+    streams: list[StreamSpec] = field(default_factory=list)
+    length: int = 40_000
+    #: fraction of accesses that go to a small, cache-resident hot set
+    hot_fraction: float = 0.65
+    hot_lines: int = 48
+    hot_pcs: int = 4
+    fragmentation: float = 0.3
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise ValueError(f"workload {self.name!r} needs at least one stream")
+        if not 0.0 <= self.hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in [0, 1)")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+
+
+class _StreamState:
+    """Iteration state for one stream while a trace is being generated."""
+
+    def __init__(self, spec: StreamSpec, pc: int, region_base: int, rng: random.Random) -> None:
+        self.spec = spec
+        self.pc = pc
+        self.region_base = region_base
+        self.rng = rng
+        span_lines = max(spec.sequence_lines + 1, int(spec.sequence_lines * spec.span_factor))
+        self.span_lines = span_lines
+        if spec.stride:
+            self.sequence = list(range(spec.sequence_lines))
+        else:
+            self.sequence = rng.sample(range(span_lines), spec.sequence_lines)
+        self.position = 0
+        self.current = self._permuted()
+
+    def _permuted(self) -> list[int]:
+        spec = self.spec
+        if spec.stride or spec.jitter <= 0.0:
+            return list(self.sequence)
+        permuted = list(self.sequence)
+        block = max(2, spec.jitter_block)
+        for start in range(0, len(permuted), block):
+            if self.rng.random() < spec.jitter:
+                chunk = permuted[start : start + block]
+                self.rng.shuffle(chunk)
+                permuted[start : start + block] = chunk
+        return permuted
+
+    def next_virtual_address(self) -> int:
+        spec = self.spec
+        if spec.repetition < 1.0 and self.rng.random() > spec.repetition:
+            # Noise access: a line in the region that is not part of the
+            # repeating sequence (so it never trains a useful correlation).
+            line = self.rng.randrange(self.span_lines, 2 * self.span_lines)
+        else:
+            line = self.current[self.position]
+            self.position += 1
+            if self.position >= len(self.current):
+                self.position = 0
+                self.current = self._permuted()
+        return self.region_base + line * CACHE_LINE_SIZE
+
+
+def generate_synthetic_trace(spec: SyntheticWorkloadSpec) -> Trace:
+    """Generate a deterministic trace from a workload specification."""
+
+    rng = random.Random(spec.seed)
+    mapper = PageMapper(fragmentation=spec.fragmentation, seed=spec.seed ^ 0xFEED)
+
+    # Hot set: a small, frequently re-touched region that mostly hits the L1,
+    # standing in for stack/locals/loop-carried data.
+    hot_region_base = 0x1000_0000
+    hot_addresses = [
+        hot_region_base + line * CACHE_LINE_SIZE for line in range(spec.hot_lines)
+    ]
+    hot_pcs = [0x400100 + 8 * index for index in range(spec.hot_pcs)]
+
+    # Each irregular stream gets its own PC and a disjoint virtual region.
+    streams: list[_StreamState] = []
+    cumulative_weights: list[float] = []
+    total_weight = 0.0
+    for index, stream_spec in enumerate(spec.streams):
+        pc = 0x400800 + 16 * index
+        region_base = 0x2000_0000 + index * 0x0400_0000
+        streams.append(_StreamState(stream_spec, pc, region_base, rng))
+        total_weight += stream_spec.weight
+        cumulative_weights.append(total_weight)
+
+    trace = Trace(name=spec.name)
+    hot_position = 0
+    for _access_index in range(spec.length):
+        if rng.random() < spec.hot_fraction:
+            hot_position = (hot_position + 1) % len(hot_addresses)
+            virtual = hot_addresses[hot_position]
+            pc = hot_pcs[hot_position % len(hot_pcs)]
+            physical = virtual  # hot region is contiguous and never remapped
+        else:
+            pick = rng.random() * total_weight
+            chosen = streams[-1]
+            for stream, bound in zip(streams, cumulative_weights):
+                if pick <= bound:
+                    chosen = stream
+                    break
+            virtual = chosen.next_virtual_address()
+            pc = chosen.pc
+            physical = mapper.translate(virtual)
+        trace.append(MemoryAccess(pc=pc, address=physical, is_write=False))
+
+    trace.metadata = {
+        "generator": "synthetic",
+        "length": spec.length,
+        "hot_fraction": spec.hot_fraction,
+        "fragmentation": spec.fragmentation,
+        "streams": [
+            {
+                "sequence_lines": stream.sequence_lines,
+                "repetition": stream.repetition,
+                "jitter": stream.jitter,
+                "stride": stream.stride,
+                "weight": stream.weight,
+            }
+            for stream in spec.streams
+        ],
+        "seed": spec.seed,
+        "mapped_pages": mapper.mapped_pages,
+    }
+    return trace

@@ -1,0 +1,60 @@
+"""The trace container shared by all workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.memory.request import MemoryAccess
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of demand memory accesses plus provenance metadata.
+
+    Attributes
+    ----------
+    name:
+        Workload name used in reports (e.g. ``"xalan"``).
+    accesses:
+        The access stream, in program order.
+    metadata:
+        Generator parameters and derived properties (working-set size,
+        number of streams, fragmentation, ...), recorded so experiments are
+        self-describing.
+    """
+
+    name: str
+    accesses: list[MemoryAccess] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __getitem__(self, index: int) -> MemoryAccess:
+        return self.accesses[index]
+
+    def append(self, access: MemoryAccess) -> None:
+        self.accesses.append(access)
+
+    def unique_lines(self) -> int:
+        """Number of distinct cache lines touched (the trace's footprint)."""
+
+        return len({access.address >> 6 for access in self.accesses})
+
+    def unique_pcs(self) -> int:
+        """Number of distinct PCs appearing in the trace."""
+
+        return len({access.pc for access in self.accesses})
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace covering ``accesses[start:stop]``."""
+
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            accesses=self.accesses[start:stop],
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,78 @@
+"""Unit tests for address arithmetic and the page mapper."""
+
+import pytest
+
+from repro.memory.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    PageMapper,
+    line_address,
+    line_number,
+    page_number,
+    page_offset,
+)
+
+
+class TestLineArithmetic:
+    def test_line_address_aligns_down(self):
+        assert line_address(0x1234) == 0x1200
+        assert line_address(0x1200) == 0x1200
+
+    def test_line_number(self):
+        assert line_number(0) == 0
+        assert line_number(CACHE_LINE_SIZE) == 1
+        assert line_number(CACHE_LINE_SIZE * 10 + 3) == 10
+
+    def test_page_number_and_offset(self):
+        address = 5 * PAGE_SIZE + 123
+        assert page_number(address) == 5
+        assert page_offset(address) == 123
+
+
+class TestPageMapper:
+    def test_sequential_mapping_without_fragmentation(self):
+        mapper = PageMapper(fragmentation=0.0, base_frame=0x10)
+        first = mapper.translate(0)
+        second = mapper.translate(PAGE_SIZE)
+        assert page_number(second) == page_number(first) + 1
+
+    def test_mapping_is_stable(self):
+        mapper = PageMapper(fragmentation=0.5)
+        address = 7 * PAGE_SIZE + 100
+        assert mapper.translate(address) == mapper.translate(address)
+
+    def test_page_offset_preserved(self):
+        mapper = PageMapper(fragmentation=1.0)
+        address = 3 * PAGE_SIZE + 777
+        assert page_offset(mapper.translate(address)) == 777
+
+    def test_fragmentation_scatters_frames(self):
+        sequential = PageMapper(fragmentation=0.0, seed=1)
+        fragmented = PageMapper(fragmentation=1.0, seed=1)
+        seq_frames = [page_number(sequential.translate(i * PAGE_SIZE)) for i in range(50)]
+        frag_frames = [page_number(fragmented.translate(i * PAGE_SIZE)) for i in range(50)]
+        seq_gaps = [b - a for a, b in zip(seq_frames, seq_frames[1:])]
+        frag_gaps = [b - a for a, b in zip(frag_frames, frag_frames[1:])]
+        assert all(gap == 1 for gap in seq_gaps)
+        assert any(abs(gap) > 1 for gap in frag_gaps)
+
+    def test_mapped_pages_counts_unique_pages(self):
+        mapper = PageMapper()
+        for index in range(10):
+            mapper.translate(index * PAGE_SIZE)
+            mapper.translate(index * PAGE_SIZE + 64)
+        assert mapper.mapped_pages == 10
+
+    def test_deterministic_under_seed(self):
+        a = PageMapper(fragmentation=0.7, seed=99)
+        b = PageMapper(fragmentation=0.7, seed=99)
+        addresses = [i * PAGE_SIZE for i in range(100)]
+        assert [a.translate(x) for x in addresses] == [b.translate(x) for x in addresses]
+
+    def test_rejects_bad_fragmentation(self):
+        with pytest.raises(ValueError):
+            PageMapper(fragmentation=1.5)
+
+    def test_rejects_non_positive_pool(self):
+        with pytest.raises(ValueError):
+            PageMapper(physical_pages=0)

@@ -1,0 +1,123 @@
+"""Tests for metric math and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    add_geomean_row,
+    geomean,
+    normalize_against_baseline,
+    summarize_ratio,
+)
+from repro.analysis.report import format_results_table, render_figure
+from repro.sim.stats import SimulationStats
+
+
+def stats(cycles=1000.0, dram=100, misses=50, issued=0, useful=0, l3=200, energy=500.0):
+    s = SimulationStats()
+    s.cycles = cycles
+    s.dram_accesses = dram
+    s.l2_demand_misses = misses
+    s.temporal_prefetches_issued = issued
+    s.temporal_prefetches_useful = useful
+    s.l3_data_accesses = l3
+    s.dynamic_energy = energy
+    return s
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_one(self):
+        assert geomean([]) == 1.0
+
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        values = [1.2, 0.9, 2.4, 1.7]
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geomean(values) == pytest.approx(expected)
+
+
+class TestNormalisation:
+    def make_results(self):
+        return {
+            "wl": {
+                "baseline": stats(cycles=2000.0, dram=100, misses=100),
+                "better": stats(cycles=1000.0, dram=110, misses=40, issued=10, useful=9),
+            }
+        }
+
+    def test_speedup(self):
+        table = normalize_against_baseline(self.make_results(), "speedup")
+        assert table["wl"]["better"] == pytest.approx(2.0)
+
+    def test_dram_traffic(self):
+        table = normalize_against_baseline(self.make_results(), "dram_traffic")
+        assert table["wl"]["better"] == pytest.approx(1.1)
+
+    def test_coverage(self):
+        table = normalize_against_baseline(self.make_results(), "coverage")
+        assert table["wl"]["better"] == pytest.approx(0.6)
+
+    def test_accuracy_is_absolute(self):
+        table = normalize_against_baseline(self.make_results(), "accuracy")
+        assert table["wl"]["better"] == pytest.approx(0.9)
+
+    def test_missing_baseline_raises(self):
+        results = {"wl": {"better": stats()}}
+        with pytest.raises(KeyError):
+            normalize_against_baseline(results, "speedup")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            normalize_against_baseline(self.make_results(), "latency")
+
+
+class TestSummaries:
+    def test_summarize_ratio_geomean(self):
+        assert summarize_ratio({"a": 2.0, "b": 8.0}) == pytest.approx(4.0)
+
+    def test_summarize_ratio_with_zero_uses_mean(self):
+        assert summarize_ratio({"a": 0.0, "b": 1.0}) == pytest.approx(0.5)
+
+    def test_summarize_empty(self):
+        assert summarize_ratio({}) == 1.0
+
+    def test_add_geomean_row(self):
+        table = {"w1": {"cfg": 2.0}, "w2": {"cfg": 8.0}}
+        extended = add_geomean_row(table)
+        assert extended["geomean"]["cfg"] == pytest.approx(4.0)
+        # The original table is not mutated.
+        assert "geomean" not in table
+
+
+class TestReportRendering:
+    def test_table_contains_all_cells(self):
+        table = {"xalan": {"triage": 1.25, "triangel": 1.61}}
+        text = format_results_table(table, ["triage", "triangel"])
+        assert "xalan" in text
+        assert "1.250" in text and "1.610" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        table = {"xalan": {"triage": 1.25}}
+        text = format_results_table(table, ["triage", "triangel"])
+        assert "-" in text
+
+    def test_row_order_respected(self):
+        table = {"b": {"c": 1.0}, "a": {"c": 2.0}}
+        text = format_results_table(table, ["c"], row_order=["a", "b"])
+        assert text.index("a") < text.index("b")
+
+    def test_render_figure_includes_title_and_note(self):
+        table = {"w": {"c": 1.0}}
+        text = render_figure("Figure 99: test", table, ["c"], note="shape note")
+        assert text.startswith("Figure 99: test")
+        assert "shape note" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the Bloom filter and the Bloom-based partition sizer."""
+
+from repro.triage.bloom import BloomFilter, BloomPartitionSizer
+
+
+class TestBloomFilter:
+    def test_insert_then_contains(self):
+        bloom = BloomFilter(bits=1 << 10, hashes=3)
+        assert bloom.insert(0x1234)
+        assert bloom.contains(0x1234)
+
+    def test_reinsert_reports_not_new(self):
+        bloom = BloomFilter()
+        bloom.insert(0x42)
+        assert not bloom.insert(0x42)
+
+    def test_unseen_value_usually_absent(self):
+        bloom = BloomFilter(bits=1 << 12, hashes=4)
+        for value in range(100):
+            bloom.insert(value)
+        misses = sum(1 for value in range(10_000, 10_100) if not bloom.contains(value))
+        assert misses > 90
+
+    def test_clear(self):
+        bloom = BloomFilter()
+        bloom.insert(1)
+        bloom.clear()
+        assert not bloom.contains(1)
+        assert bloom.inserted == 0
+
+    def test_false_positive_rate_grows_with_load(self):
+        bloom = BloomFilter(bits=256, hashes=2)
+        early = bloom.false_positive_rate()
+        for value in range(200):
+            bloom.insert(value)
+        assert bloom.false_positive_rate() > early
+
+
+class TestBloomPartitionSizer:
+    def test_grows_with_unique_addresses(self):
+        sizer = BloomPartitionSizer(entries_per_way=16, max_ways=4, window=1000)
+        decision = None
+        for index in range(40):
+            result = sizer.observe(index * 64)
+            if result is not None:
+                decision = result
+        assert decision is not None
+        assert sizer.current_ways >= 2
+
+    def test_capped_at_max_ways(self):
+        sizer = BloomPartitionSizer(entries_per_way=4, max_ways=3, window=10_000)
+        for index in range(500):
+            sizer.observe(index * 64)
+        assert sizer.current_ways == 3
+
+    def test_repeated_addresses_do_not_grow(self):
+        sizer = BloomPartitionSizer(entries_per_way=16, max_ways=4, window=1000)
+        for _ in range(200):
+            sizer.observe(0x1000)
+        assert sizer.current_ways <= 1
+
+    def test_window_reset_allows_shrink(self):
+        sizer = BloomPartitionSizer(entries_per_way=8, max_ways=4, window=64)
+        for index in range(64):
+            sizer.observe(index * 64)
+        grown = sizer.current_ways
+        assert grown >= 2
+        # Second window: a single hot address; at the boundary the partition shrinks.
+        decision = None
+        for _ in range(64):
+            result = sizer.observe(0x5000)
+            if result is not None:
+                decision = result
+        assert sizer.current_ways <= grown
+        assert decision is not None or sizer.current_ways == grown
+
+    def test_bias_factor_overallocates(self):
+        plain = BloomPartitionSizer(entries_per_way=32, max_ways=8, window=10_000, bias=1.0)
+        biased = BloomPartitionSizer(entries_per_way=32, max_ways=8, window=10_000, bias=1.5)
+        for index in range(100):
+            plain.observe(index * 64)
+            biased.observe(index * 64)
+        assert biased.current_ways >= plain.current_ways
+
+    def test_required_ways_rounding(self):
+        sizer = BloomPartitionSizer(entries_per_way=10, max_ways=8, window=1000)
+        for index in range(11):
+            sizer.observe(index * 64)
+        assert sizer.required_ways() == 2

@@ -1,0 +1,148 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def make_cache(size=1024, assoc=2, policy="lru"):
+    return SetAssociativeCache("test", size, assoc, 64, policy)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=1024, assoc=2)
+        assert cache.num_sets == 8
+        assert cache.capacity_lines == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", 1000, 3, 64)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", 0, 2, 64)
+
+    def test_locate_splits_set_and_tag(self):
+        cache = make_cache()
+        set_a, tag_a = cache.locate(0)
+        set_b, tag_b = cache.locate(cache.num_sets * 64)
+        assert set_a == set_b == 0
+        assert tag_b == tag_a + 1
+
+
+class TestAccessAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0x100).hit
+        cache.fill(0x100)
+        assert cache.access(0x100).hit
+
+    def test_probe_does_not_change_state(self):
+        cache = make_cache()
+        cache.fill(0x0)
+        cache.fill(0x200)  # same set (8 sets * 64 = 0x200 stride)
+        before = cache.stats.hits
+        assert cache.probe(0x0)
+        assert cache.stats.hits == before
+
+    def test_eviction_on_conflict(self):
+        cache = make_cache(size=256, assoc=2)  # 2 sets
+        base = 0x0
+        stride = cache.num_sets * 64
+        cache.fill(base)
+        cache.fill(base + stride)
+        victim = cache.fill(base + 2 * stride)
+        assert victim is not None
+        assert victim.address == base  # LRU
+
+    def test_eviction_reports_dirty(self):
+        cache = make_cache(size=256, assoc=1)
+        cache.fill(0x0, is_write=True)
+        victim = cache.fill(cache.num_sets * 64)
+        assert victim is not None and victim.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_refill_resident_line_does_not_evict(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.fill(0x40) is None
+
+    def test_write_marks_dirty(self):
+        cache = make_cache()
+        cache.fill(0x80)
+        cache.access(0x80, is_write=True)
+        assert cache.get_line(0x80).dirty
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.probe(0x100)
+        assert not cache.invalidate(0x100)
+
+    def test_mark_dirty(self):
+        cache = make_cache()
+        cache.fill(0xC0)
+        assert cache.mark_dirty(0xC0)
+        assert not cache.mark_dirty(0x1C0)
+
+    def test_resident_line_addresses_roundtrip(self):
+        cache = make_cache()
+        addresses = [0x0, 0x40, 0x80]
+        for address in addresses:
+            cache.fill(address)
+        assert set(cache.resident_line_addresses()) == set(addresses)
+
+
+class TestPrefetchTagging:
+    def test_first_use_reported_once(self):
+        cache = make_cache()
+        cache.fill(0x300, prefetched=True)
+        first = cache.access(0x300)
+        second = cache.access(0x300)
+        assert first.first_prefetch_use
+        assert not second.first_prefetch_use
+        assert cache.stats.prefetch_first_uses == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = make_cache(size=256, assoc=1)
+        cache.fill(0x0, prefetched=True)
+        cache.fill(cache.num_sets * 64)  # evicts the unused prefetch
+        assert cache.stats.prefetched_evicted_unused == 1
+
+    def test_used_prefetch_eviction_not_counted(self):
+        cache = make_cache(size=256, assoc=1)
+        cache.fill(0x0, prefetched=True)
+        cache.access(0x0)
+        cache.fill(cache.num_sets * 64)
+        assert cache.stats.prefetched_evicted_unused == 0
+
+    def test_ready_cycle_propagated(self):
+        cache = make_cache()
+        cache.fill(0x40, prefetched=True, ready_cycle=500.0)
+        outcome = cache.access(0x40)
+        assert outcome.ready_cycle == 500.0
+
+    def test_demand_fill_over_prefetch_keeps_flag(self):
+        cache = make_cache()
+        cache.fill(0x40, prefetched=True, ready_cycle=100.0)
+        cache.fill(0x40)  # racing demand fill
+        assert cache.access(0x40).first_prefetch_use
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0x0)
+        cache.fill(0x0)
+        cache.access(0x0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.access(0x0)
+        cache.stats.reset()
+        assert cache.stats.accesses == 0

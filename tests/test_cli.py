@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ANALYTIC_COMMANDS, FIGURE_COMMANDS, build_parser, main
+from repro.experiments.runner import clear_caches
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "xalan", "--config", "triangel", "--max-accesses", "500"]
+        )
+        assert args.workload == "xalan"
+        assert args.config == ["triangel"]
+        assert args.max_accesses == 500
+
+    def test_figure_choices_cover_all_figures(self):
+        parser = build_parser()
+        for name in list(FIGURE_COMMANDS) + list(ANALYTIC_COMMANDS):
+            args = parser.parse_args(["figure", name])
+            assert args.name == name
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list_prints_workloads_and_configs(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "xalan" in output
+        assert "triangel" in output
+
+    def test_run_prints_metrics_table(self, capsys):
+        clear_caches()
+        code = main(
+            [
+                "run",
+                "xalan",
+                "--config",
+                "triage",
+                "--trace-length",
+                "2000",
+                "--max-accesses",
+                "800",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "triage" in output
+
+    def test_figure_table1_is_analytic_and_fast(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Training Table" in output
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "L3 Cache" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Unit tests for the DRAM traffic/energy/bandwidth model."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+
+
+class TestTrafficAccounting:
+    def test_counts_by_kind(self):
+        dram = DramModel()
+        dram.access(0.0)
+        dram.access(10.0, is_write=True)
+        dram.access(20.0, is_prefetch=True)
+        assert dram.stats.demand_reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.prefetch_fills == 1
+        assert dram.total_accesses == 3
+
+    def test_energy_uses_25_unit_cost(self):
+        dram = DramModel(energy_per_access=25.0)
+        for _ in range(4):
+            dram.access(0.0)
+        assert dram.energy == 100.0
+
+    def test_reset(self):
+        dram = DramModel()
+        dram.access(0.0)
+        dram.reset()
+        assert dram.total_accesses == 0
+        assert dram.energy == 0.0
+
+
+class TestBandwidthModel:
+    def test_idle_channel_has_base_latency(self):
+        dram = DramModel(latency_cycles=100.0, occupancy_cycles=10.0)
+        assert dram.access(1000.0) == pytest.approx(100.0)
+
+    def test_back_to_back_accesses_queue(self):
+        dram = DramModel(latency_cycles=100.0, occupancy_cycles=10.0)
+        first = dram.access(0.0)
+        second = dram.access(0.0)
+        third = dram.access(0.0)
+        assert first == pytest.approx(100.0)
+        assert second == pytest.approx(110.0)
+        assert third == pytest.approx(120.0)
+        assert dram.stats.total_wait_cycles == pytest.approx(30.0)
+
+    def test_spaced_accesses_do_not_queue(self):
+        dram = DramModel(latency_cycles=100.0, occupancy_cycles=10.0)
+        dram.access(0.0)
+        assert dram.access(50.0) == pytest.approx(100.0)

@@ -1,0 +1,137 @@
+"""Integration tests for the single-core simulation engine."""
+
+import pytest
+
+from repro.core.config import TriangelConfig
+from repro.core.triangel import TriangelPrefetcher
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.engine import Simulator
+from repro.sim.timing import TimingModel
+from repro.triage.triage import TriageConfig, TriagePrefetcher
+from repro.workloads.micro import (
+    generate_pointer_chase_trace,
+    generate_random_trace,
+    generate_sequential_trace,
+)
+
+
+def build_simulator(tiny_params, prefetchers, name=""):
+    hierarchy = MemoryHierarchy(tiny_params)
+    return Simulator(hierarchy, prefetchers, timing=TimingModel(), configuration_name=name)
+
+
+class TestBasicRuns:
+    def test_null_prefetcher_run(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        trace = generate_sequential_trace(lines=256)
+        result = simulator.run(trace, workload_name="seq")
+        stats = result.stats
+        assert stats.accesses == 256
+        assert stats.cycles > 0
+        assert stats.temporal_prefetches_issued == 0
+        assert stats.dram_accesses > 0
+
+    def test_stride_prefetcher_covers_sequential(self, tiny_params):
+        baseline = build_simulator(tiny_params, [NullPrefetcher()])
+        base_stats = baseline.run(generate_sequential_trace(lines=512)).stats
+
+        covered = build_simulator(tiny_params, [StridePrefetcher(degree=8)])
+        cov_stats = covered.run(generate_sequential_trace(lines=512)).stats
+        assert cov_stats.l2_demand_misses < base_stats.l2_demand_misses
+        assert cov_stats.stride_prefetches_issued > 0
+        assert cov_stats.cycles < base_stats.cycles
+
+    def test_max_accesses_truncates(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        result = simulator.run(generate_sequential_trace(lines=1000), max_accesses=100)
+        assert result.stats.accesses == 100
+
+    def test_level_hit_accounting_sums_to_accesses(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        stats = simulator.run(generate_pointer_chase_trace(nodes=64, repeats=4)).stats
+        assert sum(stats.level_hits.values()) == stats.accesses
+
+
+class TestTemporalPrefetchingEndToEnd:
+    def test_triage_covers_pointer_chase(self, tiny_params):
+        trace = generate_pointer_chase_trace(nodes=256, repeats=8)
+        baseline = build_simulator(tiny_params, [NullPrefetcher()]).run(trace).stats
+        triage = build_simulator(
+            tiny_params,
+            [TriagePrefetcher(TriageConfig(lut_entries=64, bloom_window=128))],
+        ).run(trace).stats
+        assert triage.l2_demand_misses < baseline.l2_demand_misses
+        assert triage.temporal_prefetches_issued > 0
+        assert triage.speedup_relative_to(baseline) > 1.0
+
+    def test_triangel_covers_pointer_chase_accurately(self, tiny_params):
+        trace = generate_pointer_chase_trace(nodes=256, repeats=10)
+        baseline = build_simulator(tiny_params, [NullPrefetcher()]).run(trace).stats
+        triangel = build_simulator(
+            tiny_params,
+            [
+                TriangelPrefetcher(
+                    TriangelConfig(
+                        sampler_entries=64,
+                        training_entries=64,
+                        dueller_window=256,
+                        second_chance_window_fills=64,
+                    )
+                )
+            ],
+        ).run(trace).stats
+        assert triangel.temporal_prefetches_issued > 0
+        assert triangel.accuracy > 0.8
+        assert triangel.speedup_relative_to(baseline) > 1.0
+
+    def test_random_trace_gets_no_useful_prefetches(self, tiny_params):
+        trace = generate_random_trace(accesses=1500, footprint_lines=1 << 15)
+        triangel = build_simulator(
+            tiny_params,
+            [
+                TriangelPrefetcher(
+                    TriangelConfig(sampler_entries=64, training_entries=64, dueller_window=256)
+                )
+            ],
+        ).run(trace).stats
+        assert triangel.temporal_prefetches_issued < 30
+
+    def test_prefetch_attribution_separates_stride_and_temporal(self, tiny_params):
+        trace = generate_pointer_chase_trace(nodes=128, repeats=6)
+        simulator = build_simulator(
+            tiny_params,
+            [
+                StridePrefetcher(degree=4),
+                TriagePrefetcher(TriageConfig(lut_entries=64, bloom_window=128)),
+            ],
+        )
+        stats = simulator.run(trace).stats
+        # A shuffled pointer chase has no strides: the temporal prefetcher
+        # should dominate attribution.
+        assert stats.temporal_prefetches_issued > stats.stride_prefetches_issued
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self, tiny_params):
+        trace = generate_pointer_chase_trace(nodes=128, repeats=6)
+        full = build_simulator(tiny_params, [NullPrefetcher()]).run(trace).stats
+        warmed = build_simulator(tiny_params, [NullPrefetcher()]).run(
+            trace, warmup_accesses=len(trace) // 2
+        ).stats
+        assert warmed.accesses == full.accesses - len(trace) // 2
+        assert warmed.cycles < full.cycles
+
+    def test_warmup_preserves_cache_state(self, tiny_params):
+        # With warm-up covering one full traversal, the second traversal is
+        # served from the (warmed) L3 rather than DRAM.
+        trace = generate_pointer_chase_trace(nodes=64, repeats=2)
+        cold = build_simulator(tiny_params, [NullPrefetcher()]).run(
+            trace, max_accesses=64
+        ).stats
+        warmed = build_simulator(tiny_params, [NullPrefetcher()]).run(
+            trace, warmup_accesses=64
+        ).stats
+        assert warmed.dram_accesses < cold.dram_accesses
+        assert warmed.cycles < cold.cycles

@@ -1,0 +1,175 @@
+"""Tests for the experiment configurations, runner and figure harness.
+
+Full-size figure runs are exercised by the benchmarks; here everything runs
+on heavily truncated traces so the whole module completes in seconds while
+still covering the orchestration logic end to end.
+"""
+
+import pytest
+
+from repro.core.triangel import TriangelPrefetcher
+from repro.experiments import figures
+from repro.experiments.configs import (
+    ABLATION_LADDER,
+    ALL_CONFIGS,
+    EVALUATION_CONFIGS,
+    METADATA_FORMAT_CONFIGS,
+    available_configurations,
+    build_prefetchers,
+    replacement_study_configs,
+)
+from repro.experiments.runner import ExperimentRunner, clear_caches
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.triage.triage import TriagePrefetcher
+
+
+@pytest.fixture
+def quick_runner(small_system):
+    clear_caches()
+    return ExperimentRunner(
+        system=small_system,
+        max_accesses=1200,
+        trace_overrides={"length": 2400},
+        warmup_fraction=0.3,
+    )
+
+
+class TestConfigurations:
+    def test_all_evaluation_configs_build(self, small_system):
+        for name in EVALUATION_CONFIGS:
+            prefetchers = build_prefetchers(name, small_system)
+            assert isinstance(prefetchers[0], StridePrefetcher)
+
+    def test_baseline_is_stride_only(self, small_system):
+        assert len(build_prefetchers("baseline", small_system)) == 1
+
+    def test_triage_variants_configure_degree_and_lookahead(self, small_system):
+        deg4 = build_prefetchers("triage-deg4", small_system)[1]
+        look2 = build_prefetchers("triage-deg4-look2", small_system)[1]
+        assert isinstance(deg4, TriagePrefetcher)
+        assert deg4.config.degree == 4 and deg4.config.lookahead == 1
+        assert look2.config.lookahead == 2
+
+    def test_triangel_variants(self, small_system):
+        triangel = build_prefetchers("triangel", small_system)[1]
+        bloom = build_prefetchers("triangel-bloom", small_system)[1]
+        nomrb = build_prefetchers("triangel-nomrb", small_system)[1]
+        assert isinstance(triangel, TriangelPrefetcher)
+        assert triangel.config.sizing_mechanism == "set-dueller"
+        assert bloom.config.sizing_mechanism == "bloom"
+        assert bloom.config.bloom_bias == pytest.approx(1.5)
+        assert not nomrb.config.use_mrb
+
+    def test_structures_scaled_from_system(self, small_system):
+        triangel = build_prefetchers("triangel", small_system)[1]
+        assert triangel.config.sampler_entries == small_system.sampler_entries
+        triage = build_prefetchers("triage", small_system)[1]
+        assert triage.config.lut_entries == small_system.lut_entries
+
+    def test_metadata_format_configs(self, small_system):
+        for name, factory in METADATA_FORMAT_CONFIGS.items():
+            prefetcher = factory(small_system)[1]
+            assert prefetcher.config.metadata_format == name or name.startswith("32-bit")
+
+    def test_ablation_ladder_ordering(self, small_system):
+        names = list(ABLATION_LADDER)
+        assert names[0] == "Triage-Deg-4"
+        assert names[-1] == "+HighPatternConf"
+        final = ABLATION_LADDER["+HighPatternConf"](small_system)[1]
+        assert final.config.enable_high_pattern_conf
+        assert final.config.enable_reuse_conf
+        first_triangel = ABLATION_LADDER["+BasePatternConf"](small_system)[1]
+        assert not first_triangel.config.enable_reuse_conf
+        assert not first_triangel.config.use_mrb
+
+    def test_replacement_study_configs(self, small_system):
+        configs = replacement_study_configs(max_entries=64)
+        assert set(configs) == {"triage-lru", "triage-srrip", "triage-hawkeye"}
+        prefetcher = configs["triage-hawkeye"](small_system)[1]
+        assert prefetcher.config.markov_replacement == "hawkeye"
+        assert prefetcher.config.max_entries_override == 64
+
+    def test_unknown_configuration_raises(self, small_system):
+        with pytest.raises(ValueError):
+            build_prefetchers("voyager", small_system)
+
+    def test_available_configurations_sorted(self):
+        names = available_configurations()
+        assert names == sorted(names)
+        assert "triangel" in names and "baseline" in names
+        assert all(name in ALL_CONFIGS for name in names)
+
+
+class TestRunner:
+    def test_run_produces_stats(self, quick_runner):
+        stats = quick_runner.run("xalan", "baseline")
+        assert stats.accesses == 1200
+        assert stats.workload == "xalan"
+        assert stats.configuration == "baseline"
+
+    def test_run_caching(self, quick_runner):
+        first = quick_runner.run("xalan", "baseline")
+        second = quick_runner.run("xalan", "baseline")
+        assert first is second
+
+    def test_trace_caching(self, quick_runner):
+        assert quick_runner.trace_for("xalan") is quick_runner.trace_for("xalan")
+
+    def test_matrix_and_normalisation(self, quick_runner):
+        table = quick_runner.normalized_matrix(
+            ["xalan"], ["triage"], "speedup", include_geomean=True
+        )
+        assert "xalan" in table and "geomean" in table
+        assert table["xalan"]["triage"] > 0
+        assert "baseline" not in table["xalan"]
+
+    def test_matrix_unknown_configuration(self, quick_runner):
+        with pytest.raises(ValueError):
+            quick_runner.run_matrix(["xalan"], ["not-a-config"])
+
+    def test_multiprogram_run(self, quick_runner):
+        result = quick_runner.run_multiprogram(
+            ("xalan", "omnet"), "baseline", max_accesses_per_core=400
+        )
+        assert len(result.core_results) == 2
+        assert result.total_dram_accesses > 0
+
+
+class TestFigureHarness:
+    def test_figure_10_structure(self, quick_runner):
+        result = figures.figure_10_speedup(quick_runner)
+        assert result.figure == "Figure 10"
+        assert "geomean" in result.table
+        assert set(result.columns) == {
+            "triage",
+            "triage-deg4",
+            "triage-deg4-look2",
+            "triangel",
+            "triangel-bloom",
+        }
+        assert "xalan" in result.rendered
+
+    def test_figures_11_to_15_reuse_cached_runs(self, quick_runner):
+        figures.figure_10_speedup(quick_runner)
+        for figure_fn in (
+            figures.figure_11_dram_traffic,
+            figures.figure_12_accuracy,
+            figures.figure_13_coverage,
+        ):
+            result = figure_fn(quick_runner)
+            assert "geomean" in result.table
+
+    def test_table_1_sizes_match_paper(self):
+        result = figures.table_1_structure_sizes()
+        total_bytes = result.table["Total"]["bytes"]
+        assert total_bytes == pytest.approx(17.6 * 1024, rel=0.08)
+        assert result.table["Training Table"]["bytes"] == pytest.approx(7808, rel=0.02)
+        assert result.table["History Sampler"]["bytes"] == pytest.approx(6080, rel=0.05)
+
+    def test_table_2_describes_system(self):
+        result = figures.table_2_system_config(SystemConfig.paper())
+        description = result.extras["description"]
+        assert "L3 Cache" in description
+        assert "2048 KiB" in description["L3 Cache"]
+        assert "Table 2" in result.rendered

@@ -1,0 +1,128 @@
+"""Unit/integration tests for the composed memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy(tiny_params):
+    return MemoryHierarchy(tiny_params)
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        result = hierarchy.demand_access(0x400, 0x10000, now=0.0)
+        assert result.level == "dram"
+        assert result.l2_miss
+        assert hierarchy.dram.total_accesses == 1
+        assert hierarchy.stats.l2_demand_misses == 1
+        assert hierarchy.stats.l3_data_accesses == 1
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.demand_access(0x400, 0x10000, now=0.0)
+        result = hierarchy.demand_access(0x400, 0x10000, now=10.0)
+        assert result.level == "l1"
+        assert not result.l2_miss
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        hierarchy.demand_access(0x400, 0x10000, now=0.0)
+        # Thrash the L1 set of 0x10000 (L1 is 1 KiB, 2-way, 8 sets → stride 512).
+        for way in range(4):
+            hierarchy.demand_access(0x400, 0x10000 + 512 * (way + 1), now=1.0)
+        result = hierarchy.demand_access(0x400, 0x10000, now=2.0)
+        assert result.level in ("l2", "l3")
+
+    def test_latency_increases_down_the_hierarchy(self, hierarchy):
+        miss = hierarchy.demand_access(0x400, 0x20000, now=0.0)
+        hit = hierarchy.demand_access(0x400, 0x20000, now=500.0)
+        assert miss.latency > hit.latency
+
+    def test_demand_counters(self, hierarchy):
+        for index in range(10):
+            hierarchy.demand_access(0x400, 0x30000 + index * 64, now=float(index))
+        assert hierarchy.stats.demand_accesses == 10
+
+
+class TestPrefetchPath:
+    def test_prefetch_fill_from_dram(self, hierarchy):
+        result = hierarchy.prefetch_fill(0x40000, pc=0x400, now=0.0, extra_latency=25.0)
+        assert not result.already_present
+        assert result.from_dram
+        assert result.ready_cycle > 25.0
+        assert hierarchy.dram.stats.prefetch_fills == 1
+        assert hierarchy.l2.probe(0x40000)
+
+    def test_prefetch_fill_from_l3(self, hierarchy):
+        hierarchy.demand_access(0x400, 0x50000, now=0.0)
+        # Evict from L1/L2 by conflict but keep in L3: just prefetch another
+        # line that is L3-resident after an earlier demand access.
+        hierarchy.l1d.invalidate(0x50000)
+        hierarchy.l2.invalidate(0x50000)
+        result = hierarchy.prefetch_fill(0x50000, pc=0x400, now=10.0)
+        assert not result.from_dram
+        assert hierarchy.dram.stats.prefetch_fills == 0
+
+    def test_prefetch_already_present_is_free(self, hierarchy):
+        hierarchy.demand_access(0x400, 0x60000, now=0.0)
+        before = hierarchy.stats.l3_data_accesses
+        result = hierarchy.prefetch_fill(0x60000, pc=0x400, now=1.0)
+        assert result.already_present
+        assert hierarchy.stats.l3_data_accesses == before
+
+    def test_late_prefetch_stalls_demand(self, hierarchy):
+        hierarchy.prefetch_fill(0x70000, pc=0x400, now=0.0, extra_latency=25.0)
+        result = hierarchy.demand_access(0x400, 0x70000, now=5.0)
+        assert result.level in ("l1", "l2")
+        assert result.late_prefetch_stall > 0
+        assert result.l2_prefetch_first_use or result.l1_prefetch_first_use is False
+
+    def test_timely_prefetch_has_no_stall(self, hierarchy):
+        fill = hierarchy.prefetch_fill(0x80000, pc=0x400, now=0.0, extra_latency=25.0)
+        result = hierarchy.demand_access(0x400, 0x80000, now=fill.ready_cycle + 10)
+        assert result.late_prefetch_stall == 0.0
+
+    def test_tagged_prefetch_hit_reported_once(self, hierarchy):
+        hierarchy.prefetch_fill(0x90000, pc=0x400, now=0.0)
+        hierarchy.l1d.invalidate(0x90000)
+        first = hierarchy.demand_access(0x400, 0x90000, now=1000.0)
+        hierarchy.l1d.invalidate(0x90000)
+        second = hierarchy.demand_access(0x400, 0x90000, now=1001.0)
+        assert first.l2_prefetch_first_use
+        assert not second.l2_prefetch_first_use
+
+    def test_prefetch_into_l1(self, hierarchy):
+        hierarchy.prefetch_fill(0xA0000, pc=0x400, now=0.0, target_level="l1")
+        assert hierarchy.l1d.probe(0xA0000)
+        assert hierarchy.l2.probe(0xA0000)
+
+
+class TestMarkovAccounting:
+    def test_markov_accesses_counted_in_l3_total(self, hierarchy):
+        hierarchy.demand_access(0x400, 0xB0000, now=0.0)
+        data_only = hierarchy.total_l3_accesses
+        hierarchy.record_markov_access(3)
+        assert hierarchy.total_l3_accesses == data_only + 3
+        assert hierarchy.stats.markov_accesses == 3
+
+    def test_energy_combines_dram_and_l3(self, hierarchy):
+        hierarchy.demand_access(0x400, 0xC0000, now=0.0)
+        hierarchy.record_markov_access(10)
+        energy = hierarchy.dynamic_energy()
+        expected = hierarchy.dram.energy + hierarchy.total_l3_accesses * 1.0
+        assert energy == pytest.approx(expected)
+
+    def test_set_markov_ways_propagates(self, hierarchy):
+        hierarchy.set_markov_ways(2)
+        assert hierarchy.l3.reserved_ways == 2
+
+
+class TestStatsReset:
+    def test_reset_clears_counters_but_keeps_contents(self, hierarchy):
+        hierarchy.demand_access(0x400, 0xD0000, now=0.0)
+        hierarchy.reset_stats()
+        assert hierarchy.stats.demand_accesses == 0
+        assert hierarchy.dram.total_accesses == 0
+        # Contents survive: the next access to the same line hits.
+        result = hierarchy.demand_access(0x400, 0xD0000, now=1.0)
+        assert result.level == "l1"

@@ -1,0 +1,84 @@
+"""Unit tests for Triangel's History Sampler."""
+
+from repro.core.history_sampler import HistorySampler
+
+
+class TestLookupAndInsert:
+    def test_miss_before_insert(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        assert sampler.lookup(0x1000) is None
+
+    def test_insert_then_lookup(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        sampler.insert(0x1000, target=0x2000, train_idx=3, timestamp=10)
+        hit = sampler.lookup(0x1000)
+        assert hit is not None
+        assert hit.target == 0x2000
+        assert hit.train_idx == 3
+        assert hit.timestamp == 10
+
+    def test_lookup_marks_used(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        sampler.insert(0x1000, 0x2000, 1, 5)
+        hit = sampler.lookup(0x1000)
+        assert hit.entry.used
+
+    def test_refresh_timestamp_on_hit(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        sampler.insert(0x1000, 0x2000, 1, 5)
+        first = sampler.lookup(0x1000, refresh_timestamp=50)
+        second = sampler.lookup(0x1000)
+        assert first.timestamp == 5
+        assert second.timestamp == 50
+
+    def test_reinsert_refreshes_in_place(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        sampler.insert(0x1000, 0x2000, 1, 5)
+        victim = sampler.insert(0x1000, 0x3000, 1, 9)
+        assert victim is None
+        assert sampler.lookup(0x1000).target == 0x3000
+        assert sampler.occupancy() == 1
+
+    def test_victim_reported_on_conflict(self):
+        sampler = HistorySampler(entries=2, assoc=2)
+        # With a single set of 2 ways, a third distinct address must displace.
+        sampler.insert(0x0, 0x10, 0, 1)
+        sampler.insert(0x40, 0x50, 1, 2)
+        victim = sampler.insert(0x80, 0x90, 2, 3)
+        assert victim is not None
+        assert victim.address in (0x0, 0x40)
+        assert sampler.occupancy() == 2
+
+
+class TestInsertionProbability:
+    def test_probability_scales_with_sampler_size(self):
+        small = HistorySampler(entries=64)
+        large = HistorySampler(entries=512)
+        assert small.insertion_probability(8, 4096) < large.insertion_probability(8, 4096)
+
+    def test_sample_rate_doubles_probability(self):
+        sampler = HistorySampler(entries=64)
+        base = sampler.insertion_probability(8, 4096)
+        assert sampler.insertion_probability(9, 4096) == base * 2
+        assert sampler.insertion_probability(7, 4096) == base / 2
+
+    def test_should_insert_respects_probability_statistically(self):
+        sampler = HistorySampler(entries=256, seed=3)
+        fires = sum(sampler.should_insert(8, 1024) for _ in range(2000))
+        # probability = 256/1024 = 0.25
+        assert 350 < fires < 650
+
+    def test_degenerate_max_size(self):
+        sampler = HistorySampler(entries=16)
+        assert sampler.insertion_probability(8, 0) == 1.0
+
+
+class TestStats:
+    def test_counters(self):
+        sampler = HistorySampler(entries=16, assoc=2)
+        sampler.insert(0x1000, 0x2000, 0, 1)
+        sampler.lookup(0x1000)
+        sampler.lookup(0x5000)
+        assert sampler.stats.inserts == 1
+        assert sampler.stats.hits == 1
+        assert sampler.stats.lookups == 2

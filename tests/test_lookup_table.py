@@ -1,0 +1,89 @@
+"""Unit tests for the 32-bit metadata format's upper-bits lookup table."""
+
+from repro.triage.lookup_table import LookupTable
+
+
+class TestBasicMapping:
+    def test_insert_then_reverse_lookup(self):
+        lut = LookupTable(entries=32, assoc=4)
+        index, generation = lut.insert(0x1234)
+        assert lut.find_index(0x1234) == index
+        assert lut.value_at(index, generation) == 0x1234
+
+    def test_reinsert_reuses_slot(self):
+        lut = LookupTable(entries=32, assoc=4)
+        first, gen_a = lut.insert(0x55)
+        second, gen_b = lut.insert(0x55)
+        assert first == second
+        assert gen_a == gen_b
+
+    def test_find_missing_returns_none(self):
+        lut = LookupTable(entries=16, assoc=4)
+        assert lut.find_index(0x99) is None
+
+    def test_value_at_invalid_slot(self):
+        lut = LookupTable(entries=16, assoc=4)
+        assert lut.value_at(3) is None
+
+    def test_value_at_out_of_range_raises(self):
+        lut = LookupTable(entries=16, assoc=4)
+        try:
+            lut.value_at(99)
+        except IndexError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected IndexError")
+
+    def test_occupancy(self):
+        lut = LookupTable(entries=16, assoc=4)
+        for value in range(5):
+            lut.insert(value * 17)
+        assert lut.occupancy() == 5
+
+
+class TestStaleness:
+    """The property that breaks Triage's accuracy (paper section 6.5)."""
+
+    def test_slot_reuse_changes_generation(self):
+        lut = LookupTable(entries=4, assoc=4)
+        index, generation = lut.insert(0xAAA)
+        # Fill the structure until 0xAAA's slot is eventually re-used.
+        reused = False
+        for value in range(1, 200):
+            new_index, _ = lut.insert(value)
+            if new_index == index and lut.value_at(index) != 0xAAA:
+                reused = True
+                break
+        assert reused
+        # Decoding through the stale slot returns the *wrong* value, and the
+        # stale decode is counted.
+        before = lut.stats.stale_decodes
+        value = lut.value_at(index, generation)
+        assert value != 0xAAA
+        assert lut.stats.stale_decodes == before + 1
+
+    def test_capacity_pressure_causes_replacements(self):
+        lut = LookupTable(entries=16, assoc=16)
+        for value in range(64):
+            lut.insert(value + 1000)
+        assert lut.stats.replacements > 0
+
+    def test_no_replacements_below_capacity(self):
+        lut = LookupTable(entries=64, assoc=16)
+        for value in range(32):
+            lut.insert(value * 31)
+        assert lut.stats.replacements == 0
+
+
+class TestAssociativityVariants:
+    def test_fully_associative_construction(self):
+        lut = LookupTable(entries=32, assoc=32)
+        assert lut.num_sets == 1
+
+    def test_rejects_bad_geometry(self):
+        try:
+            LookupTable(entries=30, assoc=16)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")

@@ -1,0 +1,101 @@
+"""Unit tests for the Markov-entry metadata formats (paper sections 3.1/4.3/6.5)."""
+
+import pytest
+
+from repro.triage.lookup_table import LookupTable
+from repro.triage.metadata import (
+    Full42Format,
+    Ideal32Format,
+    Lut32Format,
+    make_metadata_format,
+)
+
+
+class TestFull42:
+    def test_roundtrip_exact(self):
+        fmt = Full42Format()
+        for address in (0x0, 0x40, 0x7FFF_FFC0, 0x1F_FFFF_FFC0):
+            assert fmt.decode(fmt.encode(address)) == address
+
+    def test_density(self):
+        fmt = Full42Format()
+        assert fmt.entries_per_line == 12
+        assert fmt.bits_per_entry == 42
+
+
+class TestIdeal32:
+    def test_roundtrip_exact(self):
+        fmt = Ideal32Format()
+        assert fmt.decode(fmt.encode(0x12345640)) == 0x12345640
+
+    def test_keeps_32bit_density(self):
+        fmt = Ideal32Format()
+        assert fmt.entries_per_line == 16
+
+
+class TestLut32:
+    def test_roundtrip_while_lut_entry_lives(self):
+        fmt = Lut32Format(LookupTable(entries=64, assoc=16), offset_bits=11)
+        address = 0x0123_4567 & ~0x3F
+        assert fmt.decode(fmt.encode(address)) == address
+
+    def test_wrong_decode_after_lut_reuse(self):
+        fmt = Lut32Format(LookupTable(entries=4, assoc=4), offset_bits=8)
+        target = 0x10_0000
+        encoded = fmt.encode(target)
+        # Flood the LUT with other regions until the slot is reused.
+        for region in range(1, 200):
+            fmt.encode(region << 20)
+        decoded = fmt.decode(encoded)
+        assert decoded is None or decoded != target
+
+    def test_offset_bits_control_region_size(self):
+        lut = LookupTable(entries=64, assoc=16)
+        wide = Lut32Format(lut, offset_bits=11)
+        narrow = Lut32Format(LookupTable(entries=64, assoc=16), offset_bits=10)
+        # Two addresses 2^16 bytes apart share a LUT value at 11 offset bits
+        # (region = 2^17 bytes) but not at 10 (region = 2^16 bytes).
+        a, b = 0x20_0000, 0x20_0000 + (1 << 16)
+        wide.encode(a)
+        wide.encode(b)
+        narrow.encode(a)
+        narrow.encode(b)
+        assert wide.lookup_table.occupancy() == 1
+        assert narrow.lookup_table.occupancy() == 2
+
+    def test_same_line_density_as_triage(self):
+        fmt = Lut32Format(LookupTable(entries=64, assoc=16))
+        assert fmt.entries_per_line == 16
+        assert fmt.bits_per_entry == 32
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("42-bit", Full42Format),
+            ("32-bit-ideal", Ideal32Format),
+            ("32-bit-LUT-16-way", Lut32Format),
+            ("32-bit-LUT-1024-way", Lut32Format),
+            ("32-bit-LUT-16-way-10b-offset", Lut32Format),
+        ],
+    )
+    def test_known_formats(self, name, expected_type):
+        fmt = make_metadata_format(name, lut_entries=64, lut_assoc=16, offset_bits=11)
+        assert isinstance(fmt, expected_type)
+
+    def test_fully_associative_variant_is_single_set(self):
+        fmt = make_metadata_format("32-bit-LUT-1024-way", lut_entries=64)
+        assert fmt.lookup_table.num_sets == 1
+
+    def test_10b_variant_reduces_offset(self):
+        fmt = make_metadata_format("32-bit-LUT-16-way-10b-offset", lut_entries=64, offset_bits=11)
+        assert fmt.offset_bits == 10
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown metadata format"):
+            make_metadata_format("48-bit")
+
+    def test_describe(self):
+        fmt = make_metadata_format("42-bit")
+        assert "42" in fmt.describe()

@@ -1,0 +1,67 @@
+"""Unit tests for the Metadata Reuse Buffer."""
+
+from repro.core.metadata_reuse_buffer import MetadataReuseBuffer
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        assert mrb.lookup(0x1000) is None
+        mrb.insert(0x1000, target=0x2000, confidence=True)
+        entry = mrb.lookup(0x1000)
+        assert entry is not None
+        assert entry.target == 0x2000
+        assert entry.confidence
+
+    def test_update_in_place(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, False)
+        mrb.insert(0x1000, 0x3000, True)
+        assert mrb.lookup(0x1000).target == 0x3000
+        assert mrb.occupancy() == 1
+
+    def test_fifo_replacement_ignores_recency(self):
+        mrb = MetadataReuseBuffer(entries=2, assoc=2)
+        mrb.insert(0x0, 0x10, False)
+        mrb.insert(0x40, 0x50, False)
+        # Re-touch the older entry; FIFO should still evict it first.
+        mrb.lookup(0x0)
+        mrb.insert(0x80, 0x90, False)
+        assert mrb.lookup(0x0) is None or mrb.lookup(0x40) is None
+        assert mrb.occupancy() == 2
+
+    def test_invalidate(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, True)
+        mrb.invalidate(0x1000)
+        assert mrb.lookup(0x1000) is None
+
+    def test_hit_rate_stats(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, True)
+        mrb.lookup(0x1000)
+        mrb.lookup(0x5000)
+        assert mrb.stats.hits == 1
+        assert mrb.stats.lookups >= 2
+
+
+class TestRedundantUpdateSuppression:
+    def test_identical_update_is_redundant(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, True)
+        assert mrb.would_be_redundant_update(0x1000, 0x2000, True)
+        assert mrb.stats.update_suppressions == 1
+
+    def test_different_target_is_not_redundant(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, True)
+        assert not mrb.would_be_redundant_update(0x1000, 0x3000, True)
+
+    def test_different_confidence_is_not_redundant(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        mrb.insert(0x1000, 0x2000, False)
+        assert not mrb.would_be_redundant_update(0x1000, 0x2000, True)
+
+    def test_absent_entry_is_not_redundant(self):
+        mrb = MetadataReuseBuffer(entries=8, assoc=2)
+        assert not mrb.would_be_redundant_update(0x7777, 0x2000, True)

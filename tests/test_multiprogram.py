@@ -1,0 +1,100 @@
+"""Integration tests for the two-core multiprogrammed simulator."""
+
+import pytest
+
+from repro.experiments.configs import build_prefetchers
+from repro.sim.multiprogram import MultiProgramSimulator, share_temporal_metadata
+from repro.workloads.micro import generate_pointer_chase_trace, generate_sequential_trace
+
+
+@pytest.fixture
+def traces():
+    return [
+        generate_pointer_chase_trace(nodes=128, repeats=4, base_address=0x100_0000),
+        generate_pointer_chase_trace(nodes=128, repeats=4, base_address=0x900_0000, seed=9),
+    ]
+
+
+class TestMultiProgram:
+    def test_two_cores_share_l3_and_dram(self, small_system, traces):
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("baseline", small_system),
+            num_cores=2,
+            configuration_name="baseline",
+        )
+        l3s = {id(sim.hierarchy.l3) for sim in simulator.simulators}
+        drams = {id(sim.hierarchy.dram) for sim in simulator.simulators}
+        assert len(l3s) == 1 and len(drams) == 1
+        result = simulator.run(traces, workload_names=["a", "b"], max_accesses_per_core=300)
+        assert len(result.core_results) == 2
+        assert all(r.stats.accesses == 300 for r in result.core_results)
+
+    def test_temporal_metadata_shared_between_cores(self, small_system):
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("triangel", small_system),
+            num_cores=2,
+            configuration_name="triangel",
+        )
+        temporal = [sim.prefetchers[1] for sim in simulator.simulators]
+        assert temporal[0].markov is temporal[1].markov
+
+    def test_share_helper_handles_triage(self, small_system):
+        stacks = [build_prefetchers("triage", small_system) for _ in range(2)]
+        hierarchy_stub = small_system.build_hierarchy()
+        for stack in stacks:
+            for prefetcher in stack:
+                prefetcher.attach(hierarchy_stub)
+        share_temporal_metadata(stacks)
+        assert stacks[0][1].markov is stacks[1][1].markov
+
+    def test_uneven_trace_lengths(self, small_system):
+        traces = [
+            generate_sequential_trace(lines=200, base_address=0x10_0000),
+            generate_sequential_trace(lines=500, base_address=0x90_0000),
+        ]
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("baseline", small_system),
+            num_cores=2,
+        )
+        result = simulator.run(traces)
+        assert result.core_results[0].stats.accesses == 200
+        assert result.core_results[1].stats.accesses == 500
+
+    def test_mismatched_trace_count_raises(self, small_system, traces):
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("baseline", small_system),
+            num_cores=2,
+        )
+        with pytest.raises(ValueError):
+            simulator.run(traces[:1])
+
+    def test_speedups_relative_to_baseline(self, small_system, traces):
+        def run(config):
+            simulator = MultiProgramSimulator(
+                small_system,
+                prefetcher_factory=lambda: build_prefetchers(config, small_system),
+                num_cores=2,
+                configuration_name=config,
+            )
+            return simulator.run(traces, max_accesses_per_core=400)
+
+        baseline = run("baseline")
+        triage = run("triage")
+        speedups = triage.speedups_relative_to(baseline)
+        assert len(speedups) == 2
+        assert all(speedup > 0 for speedup in speedups)
+
+    def test_warmup_supported(self, small_system, traces):
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("baseline", small_system),
+            num_cores=2,
+        )
+        result = simulator.run(
+            traces, max_accesses_per_core=200, warmup_accesses_per_core=100
+        )
+        assert all(r.stats.accesses == 200 for r in result.core_results)

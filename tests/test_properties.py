@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata_reuse_buffer import MetadataReuseBuffer
+from repro.memory.address import PAGE_SIZE, PageMapper, line_address, page_offset
+from repro.memory.cache import SetAssociativeCache
+from repro.triage.bloom import BloomFilter
+from repro.triage.markov_table import MarkovTable
+from repro.triage.metadata import Full42Format, Ideal32Format
+from repro.utils.counters import SaturatingCounter
+from repro.utils.hashing import fold_hash
+
+lines = st.integers(min_value=0, max_value=(1 << 31) - 1).map(lambda value: value * 64)
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestHashingProperties:
+    @given(value=addresses, bits=st.integers(min_value=1, max_value=24))
+    def test_fold_hash_range(self, value, bits):
+        assert 0 <= fold_hash(value, bits) < (1 << bits)
+
+    @given(value=addresses)
+    def test_line_address_is_aligned_and_below(self, value):
+        aligned = line_address(value)
+        assert aligned % 64 == 0
+        assert aligned <= value < aligned + 64
+
+
+class TestCounterProperties:
+    @given(
+        operations=st.lists(st.booleans(), max_size=200),
+        bits=st.integers(min_value=1, max_value=8),
+        increment=st.integers(min_value=1, max_value=5),
+        decrement=st.integers(min_value=1, max_value=5),
+    )
+    def test_counter_always_in_range(self, operations, bits, increment, decrement):
+        counter = SaturatingCounter(
+            bits=bits, initial=(1 << bits) // 2, increment=increment, decrement=decrement
+        )
+        for up in operations:
+            counter.increase() if up else counter.decrease()
+            assert 0 <= counter.value <= counter.maximum
+
+
+class TestCacheProperties:
+    @given(addresses=st.lists(lines, min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache("prop", 1024, 2, 64, "lru")
+        for address in addresses:
+            cache.fill(address)
+        assert len(cache.resident_line_addresses()) <= cache.capacity_lines
+
+    @given(addresses=st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_most_recent_fill_is_always_resident(self, addresses):
+        cache = SetAssociativeCache("prop", 2048, 4, 64, "lru")
+        for address in addresses:
+            cache.fill(address)
+            assert cache.probe(line_address(address))
+
+    @given(addresses=st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = SetAssociativeCache("prop", 1024, 4, 64, "lru")
+        for address in addresses:
+            if not cache.access(address).hit:
+                cache.fill(address)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+
+class TestPageMapperProperties:
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+        fragmentation=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_is_injective_per_page_and_preserves_offsets(self, pages, fragmentation):
+        mapper = PageMapper(fragmentation=fragmentation, seed=1)
+        seen: dict[int, int] = {}
+        for page in pages:
+            virtual = page * PAGE_SIZE + (page % PAGE_SIZE)
+            physical = mapper.translate(virtual)
+            assert page_offset(physical) == page_offset(virtual)
+            frame = physical // PAGE_SIZE
+            if page in seen:
+                assert seen[page] == frame
+            else:
+                seen[page] = frame
+
+
+class TestMetadataFormatProperties:
+    @given(target=lines)
+    def test_full42_roundtrip(self, target):
+        fmt = Full42Format()
+        assert fmt.decode(fmt.encode(target)) == target
+
+    @given(target=lines)
+    def test_ideal32_roundtrip(self, target):
+        fmt = Ideal32Format()
+        assert fmt.decode(fmt.encode(target)) == target
+
+
+class TestMarkovTableProperties:
+    @given(pairs=st.lists(st.tuples(lines, lines), min_size=1, max_size=150))
+    @settings(max_examples=20, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, pairs):
+        table = MarkovTable(4, 2, Full42Format())
+        table.set_ways(2)
+        for source, target in pairs:
+            table.train(source, target)
+        assert table.occupancy() <= table.capacity
+
+    @given(pairs=st.lists(st.tuples(lines, lines), min_size=1, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_lookup_only_returns_trained_targets(self, pairs):
+        table = MarkovTable(8, 4, Full42Format())
+        table.set_ways(4)
+        trained_targets = set()
+        for source, target in pairs:
+            table.train(source, target)
+            trained_targets.add(target)
+        for source, _target in pairs:
+            result = table.lookup(source)
+            # Hash aliasing may return a target trained for another source,
+            # but never an address that was never trained as a target.
+            assert result is None or result in trained_targets
+
+
+class TestBloomFilterProperties:
+    @given(values=st.lists(st.integers(min_value=0, max_value=1 << 32), max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_no_false_negatives(self, values):
+        bloom = BloomFilter(bits=1 << 12, hashes=3)
+        for value in values:
+            bloom.insert(value)
+        assert all(bloom.contains(value) for value in values)
+
+
+class TestMrbProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(lines, lines, st.booleans()), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_occupancy_bounded_and_lookup_consistent(self, operations):
+        mrb = MetadataReuseBuffer(entries=16, assoc=2)
+        latest: dict[int, int] = {}
+        for index_address, target, _conf in operations:
+            mrb.insert(index_address, target, _conf)
+            latest[index_address] = target
+        assert mrb.occupancy() <= 16
+        for index_address, target in latest.items():
+            entry = mrb.lookup(index_address)
+            if entry is not None:
+                assert entry.target == target

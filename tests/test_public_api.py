@@ -1,0 +1,49 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+from repro.prefetch.base import NullPrefetcher, PrefetchDecision, PrefetcherStats
+
+
+class TestPackageExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_exposed(self):
+        assert repro.TriangelPrefetcher.__name__ == "TriangelPrefetcher"
+        assert repro.TriagePrefetcher.__name__ == "TriagePrefetcher"
+        assert callable(repro.generate_workload)
+        assert callable(repro.build_prefetchers)
+
+    def test_available_listings(self):
+        assert "triangel" in repro.available_configurations()
+        assert "xalan" in repro.available_workloads()
+
+
+class TestPrefetcherBase:
+    def test_null_prefetcher_never_prefetches(self):
+        from repro.memory.hierarchy import DemandResult
+
+        prefetcher = NullPrefetcher()
+        result = DemandResult(level="dram", latency=100.0, line_address=0x40, l2_miss=True)
+        assert prefetcher.observe(0x400, 0x40, result, 0.0) == []
+
+    def test_decision_defaults(self):
+        decision = PrefetchDecision(address=0x80)
+        assert decision.target_level == "l2"
+        assert decision.extra_latency == 0.0
+        assert decision.metadata_source == "markov"
+
+    def test_stats_reset(self):
+        stats = PrefetcherStats()
+        stats.prefetches_issued = 5
+        stats.mrb_hits = 2
+        stats.reset()
+        assert stats.prefetches_issued == 0
+        assert stats.mrb_hits == 0
+
+    def test_repr_contains_name(self):
+        assert "none" in repr(NullPrefetcher())

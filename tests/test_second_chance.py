@@ -1,0 +1,74 @@
+"""Unit tests for the Second-Chance Sampler."""
+
+from repro.core.second_chance import SecondChanceSampler
+
+
+class TestDeferredJudgement:
+    def test_match_within_window_is_positive(self):
+        scs = SecondChanceSampler(entries=8, window_fills=100)
+        scs.insert(0x1000, train_idx=1, fill_count=50)
+        outcome = scs.check(0x1000, train_idx=1, current_fill_count=120)
+        assert outcome is not None and outcome.within_window
+
+    def test_match_outside_window_is_negative(self):
+        scs = SecondChanceSampler(entries=8, window_fills=100)
+        scs.insert(0x1000, train_idx=1, fill_count=50)
+        outcome = scs.check(0x1000, train_idx=1, current_fill_count=500)
+        assert outcome is not None and not outcome.within_window
+
+    def test_match_requires_same_training_entry(self):
+        scs = SecondChanceSampler(entries=8, window_fills=100)
+        scs.insert(0x1000, train_idx=1, fill_count=50)
+        assert scs.check(0x1000, train_idx=2, current_fill_count=60) is None
+
+    def test_match_consumes_entry(self):
+        scs = SecondChanceSampler(entries=8, window_fills=100)
+        scs.insert(0x1000, 1, 0)
+        assert scs.check(0x1000, 1, 10) is not None
+        assert scs.check(0x1000, 1, 20) is None
+
+    def test_no_match_for_unknown_address(self):
+        scs = SecondChanceSampler()
+        assert scs.check(0x9999, 0, 0) is None
+
+
+class TestCapacityAndExpiry:
+    def test_eviction_forces_negative_outcome(self):
+        scs = SecondChanceSampler(entries=2, window_fills=1000)
+        assert scs.insert(0x0, 0, 0) is None
+        assert scs.insert(0x40, 1, 0) is None
+        forced = scs.insert(0x80, 2, 0)
+        assert forced is not None and not forced.within_window
+        assert scs.occupancy() == 2
+
+    def test_reinsert_refreshes_window(self):
+        scs = SecondChanceSampler(entries=4, window_fills=100)
+        scs.insert(0x1000, 1, 0)
+        scs.insert(0x1000, 1, 400)  # refresh, not duplicate
+        assert scs.occupancy() == 1
+        outcome = scs.check(0x1000, 1, 450)
+        assert outcome.within_window
+
+    def test_expiry_returns_negative_outcomes(self):
+        scs = SecondChanceSampler(entries=4, window_fills=100)
+        scs.insert(0x1000, 1, 0)
+        scs.insert(0x2000, 2, 0)
+        expired = scs.expire_older_than(500)
+        assert len(expired) == 2
+        assert all(not outcome.within_window for outcome in expired)
+        assert scs.occupancy() == 0
+
+    def test_expiry_keeps_fresh_entries(self):
+        scs = SecondChanceSampler(entries=4, window_fills=100)
+        scs.insert(0x1000, 1, 450)
+        assert scs.expire_older_than(500) == []
+        assert scs.occupancy() == 1
+
+    def test_stats(self):
+        scs = SecondChanceSampler(entries=4, window_fills=100)
+        scs.insert(0x1000, 1, 0)
+        scs.check(0x1000, 1, 50)
+        scs.insert(0x2000, 1, 0)
+        scs.check(0x2000, 1, 400)
+        assert scs.stats.matches_in_window == 1
+        assert scs.stats.matches_out_of_window == 1

@@ -1,0 +1,122 @@
+"""Unit tests for Triangel's Set Dueller."""
+
+from repro.core.set_dueller import SetDueller
+
+
+def make_dueller(**overrides):
+    defaults = dict(
+        l3_sets=16,
+        cache_ways=16,
+        max_markov_ways=8,
+        sampled_sets=16,
+        window=100,
+        markov_sample_period=1,
+    )
+    defaults.update(overrides)
+    return SetDueller(**defaults)
+
+
+def line(index: int) -> int:
+    return index * 64
+
+
+class TestObservation:
+    def test_data_reuse_scores_data_heavy_partitions(self):
+        dueller = make_dueller(window=10_000)
+        # A small, hot data set that re-hits constantly and no Markov traffic:
+        # every configuration that keeps data ways scores, so 0 reserved wins.
+        for _ in range(50):
+            for index in range(8):
+                dueller.observe_data_access(line(index))
+        assert dueller.best_partition() == 0
+
+    def test_markov_reuse_scores_markov_partitions(self):
+        dueller = make_dueller(window=10_000)
+        for _ in range(50):
+            for index in range(8):
+                dueller.observe_markov_access(line(index))
+        assert dueller.best_partition() >= 1
+
+    def test_decision_emitted_at_window_boundary(self):
+        dueller = make_dueller(window=20)
+        decision = None
+        for iteration in range(40):
+            result = dueller.observe_markov_access(line(iteration % 4))
+            if result is not None:
+                decision = result
+        assert decision is not None
+        assert dueller.stats.windows >= 1
+
+    def test_no_decision_mid_window(self):
+        dueller = make_dueller(window=1000)
+        assert dueller.observe_data_access(line(1)) is None
+
+    def test_unsampled_sets_are_ignored(self):
+        dueller = make_dueller(l3_sets=256, sampled_sets=4, window=10_000)
+        for index in range(64):
+            dueller.observe_data_access(line(index))
+        assert dueller.stats.data_observations == 64
+        # Only a fraction of accesses land in sampled sets.
+        assert dueller.stats.data_hits <= 64
+
+
+class TestDecisionQuality:
+    def test_mixed_traffic_prefers_balanced_partition(self):
+        dueller = make_dueller(window=100_000, bias=2.0)
+        # Deep data reuse (needs many ways) and deep Markov reuse compete.
+        for _ in range(30):
+            for index in range(12):
+                dueller.observe_data_access(line(index * 16))
+            for index in range(6):
+                dueller.observe_markov_access(line(1000 + index * 16))
+        best = dueller.best_partition()
+        assert 0 <= best <= 8
+
+    def test_hysteresis_keeps_current_on_ties(self):
+        dueller = make_dueller(window=10_000)
+        # No observations at all: all counters zero, keep the current (0).
+        assert dueller.best_partition() == 0
+        dueller._current_ways = 3
+        assert dueller.best_partition() == 3
+
+    def test_bias_reduces_markov_value(self):
+        aggressive = make_dueller(window=10_000, bias=1.0)
+        conservative = make_dueller(window=10_000, bias=4.0)
+        for _ in range(20):
+            for index in range(8):
+                aggressive.observe_markov_access(line(index))
+                conservative.observe_markov_access(line(index))
+            for index in range(10):
+                aggressive.observe_data_access(line(100 + index))
+                conservative.observe_data_access(line(100 + index))
+        assert conservative.counters[8] <= aggressive.counters[8]
+
+    def test_counters_reset_each_window(self):
+        dueller = make_dueller(window=10)
+        for index in range(10):
+            dueller.observe_markov_access(line(index % 2))
+        assert all(counter == 0.0 for counter in dueller.counters)
+
+    def test_repeated_same_decision_not_reemitted(self):
+        dueller = make_dueller(window=5)
+        emitted = []
+        for index in range(30):
+            result = dueller.observe_data_access(line(index % 2))
+            if result is not None:
+                emitted.append(result)
+        # The first window may emit a change; later identical decisions are silent.
+        assert len(emitted) <= 1
+
+
+class TestSampling:
+    def test_markov_sample_period_reduces_tracked_entries(self):
+        dense = make_dueller(markov_sample_period=1, window=10_000)
+        sparse = make_dueller(markov_sample_period=12, window=10_000)
+        for index in range(200):
+            dense.observe_markov_access(line(index))
+            sparse.observe_markov_access(line(index))
+        assert sparse.stats.markov_sampled < dense.stats.markov_sampled
+
+    def test_sampled_set_count_close_to_requested(self):
+        dueller = SetDueller(l3_sets=1024, sampled_sets=64, window=100)
+        assert 32 <= dueller.sampled_set_count <= 160

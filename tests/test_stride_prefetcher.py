@@ -1,0 +1,77 @@
+"""Unit tests for the baseline stride prefetcher."""
+
+from repro.memory.hierarchy import DemandResult
+from repro.prefetch.stride import StridePrefetcher
+
+
+def miss_result(address: int) -> DemandResult:
+    return DemandResult(level="dram", latency=100.0, line_address=address, l2_miss=True)
+
+
+def l1_hit_result(address: int) -> DemandResult:
+    return DemandResult(level="l1", latency=4.0, line_address=address)
+
+
+class TestTraining:
+    def test_no_prefetch_before_confidence(self):
+        pf = StridePrefetcher(degree=2)
+        assert pf.observe(0x400, 0x1000, miss_result(0x1000), 0.0) == []
+        assert pf.observe(0x400, 0x1040, miss_result(0x1040), 1.0) == []
+
+    def test_prefetches_after_stride_confirmed(self):
+        pf = StridePrefetcher(degree=4, confidence_threshold=2)
+        addresses = [0x1000 + i * 64 for i in range(4)]
+        decisions = []
+        for address in addresses:
+            decisions = pf.observe(0x400, address, miss_result(address), 0.0)
+        assert len(decisions) == 4
+        assert [d.address for d in decisions] == [addresses[-1] + 64 * i for i in range(1, 5)]
+
+    def test_decision_metadata_source_is_stride(self):
+        pf = StridePrefetcher(degree=1, confidence_threshold=1)
+        for address in (0x0, 0x40, 0x80):
+            decisions = pf.observe(0x400, address, miss_result(address), 0.0)
+        assert decisions and all(d.metadata_source == "stride" for d in decisions)
+
+    def test_negative_stride_supported(self):
+        pf = StridePrefetcher(degree=2, confidence_threshold=2)
+        addresses = [0x8000 - i * 64 for i in range(5)]
+        for address in addresses:
+            decisions = pf.observe(0x400, address, miss_result(address), 0.0)
+        assert decisions
+        assert decisions[0].address == addresses[-1] - 64
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(degree=2, confidence_threshold=2)
+        for address in (0x0, 0x40, 0x80, 0xC0):
+            pf.observe(0x400, address, miss_result(address), 0.0)
+        # Break the pattern: jump far away.
+        decisions = pf.observe(0x400, 0x9000, miss_result(0x9000), 0.0)
+        assert decisions == []
+
+    def test_pcs_tracked_independently(self):
+        pf = StridePrefetcher(degree=1, confidence_threshold=1)
+        pf.observe(0x400, 0x0, miss_result(0x0), 0.0)
+        pf.observe(0x500, 0x100000, miss_result(0x100000), 0.0)
+        pf.observe(0x400, 0x40, miss_result(0x40), 0.0)
+        decisions = pf.observe(0x400, 0x80, miss_result(0x80), 0.0)
+        assert decisions and decisions[0].address == 0xC0
+
+    def test_no_prefetch_on_plain_l1_hits(self):
+        pf = StridePrefetcher(degree=2, confidence_threshold=1)
+        for address in (0x0, 0x40, 0x80, 0xC0):
+            decisions = pf.observe(0x400, address, l1_hit_result(address), 0.0)
+        assert decisions == []
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher(degree=2, confidence_threshold=1)
+        for _ in range(5):
+            decisions = pf.observe(0x400, 0x1000, miss_result(0x1000), 0.0)
+        assert decisions == []
+
+    def test_stats_track_issue_counts(self):
+        pf = StridePrefetcher(degree=3, confidence_threshold=1)
+        for address in (0x0, 0x40, 0x80):
+            pf.observe(0x400, address, miss_result(address), 0.0)
+        assert pf.stats.prefetches_issued >= 3
+        assert pf.stats.triggers == 3

@@ -1,0 +1,89 @@
+"""Tests for the system configuration and Triangel sizing report."""
+
+import pytest
+
+from repro.core.config import (
+    TriangelConfig,
+    total_dedicated_storage_bytes,
+    triangel_structure_sizes,
+)
+from repro.sim.config import SystemConfig
+
+
+class TestSystemConfig:
+    def test_scaled_default_geometry(self):
+        system = SystemConfig.scaled()
+        assert system.hierarchy.l3_assoc == 16
+        assert system.hierarchy.max_markov_ways == 8
+        assert system.hierarchy.l3_size < SystemConfig.paper().hierarchy.l3_size
+
+    def test_paper_matches_table_2(self):
+        system = SystemConfig.paper()
+        p = system.hierarchy
+        assert p.l1_size == 64 * 1024
+        assert p.l2_size == 512 * 1024
+        assert p.l3_size == 2 * 1024 * 1024
+        assert p.l1_latency == 4.0
+        assert p.l2_latency == 9.0
+        assert p.l3_latency == 20.0
+        assert system.markov_latency == 25.0
+
+    def test_scale_factor_grows_caches(self):
+        small = SystemConfig.scaled(1.0)
+        big = SystemConfig.scaled(4.0)
+        assert big.hierarchy.l3_size > small.hierarchy.l3_size
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            SystemConfig.scaled(0)
+
+    def test_build_hierarchy(self):
+        system = SystemConfig.scaled()
+        hierarchy = system.build_hierarchy()
+        assert hierarchy.l3.max_reserved_ways == 8
+        assert hierarchy.l1d.size_bytes == system.hierarchy.l1_size
+
+    def test_shared_l3_and_dram_builders(self):
+        system = SystemConfig.scaled()
+        l3 = system.build_shared_l3()
+        dram = system.build_shared_dram()
+        a = system.build_hierarchy(shared_l3=l3, shared_dram=dram)
+        b = system.build_hierarchy(shared_l3=l3, shared_dram=dram)
+        assert a.l3 is b.l3
+        assert a.dram is b.dram
+
+    def test_describe_mentions_energy_model(self):
+        description = SystemConfig.paper().describe()
+        assert "25" in description["Energy model"]
+
+
+class TestTriangelSizing:
+    def test_structure_names_match_table_1(self):
+        names = [size.name for size in triangel_structure_sizes()]
+        assert names == [
+            "Training Table",
+            "History Sampler",
+            "Second-Chance Sampler",
+            "Metadata Reuse Buffer",
+            "Set Dueller",
+        ]
+
+    def test_entry_counts_match_table_1(self):
+        sizes = {size.name: size for size in triangel_structure_sizes()}
+        assert sizes["Training Table"].entries == 512
+        assert sizes["History Sampler"].entries == 512
+        assert sizes["Second-Chance Sampler"].entries == 64
+        assert sizes["Metadata Reuse Buffer"].entries == 256
+
+    def test_training_table_entry_width_matches_figure_5(self):
+        sizes = {size.name: size for size in triangel_structure_sizes()}
+        # Figure 5's fields plus a valid bit: 122 bits.
+        assert sizes["Training Table"].bits_per_entry == 122
+
+    def test_total_close_to_17_6_kib(self):
+        total = total_dedicated_storage_bytes()
+        assert total == pytest.approx(17.6 * 1024, rel=0.08)
+
+    def test_sizes_scale_with_config(self):
+        small = total_dedicated_storage_bytes(TriangelConfig(sampler_entries=64))
+        assert small < total_dedicated_storage_bytes()

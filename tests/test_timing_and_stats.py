@@ -1,0 +1,111 @@
+"""Unit tests for the timing model and the statistics container."""
+
+import pytest
+
+from repro.memory.hierarchy import DemandResult
+from repro.sim.config import TimingParams
+from repro.sim.stats import SimulationStats
+from repro.sim.timing import TimingModel
+
+
+def result(level: str, latency: float) -> DemandResult:
+    return DemandResult(level=level, latency=latency, line_address=0)
+
+
+class TestTimingModel:
+    def test_dram_costs_more_than_l1(self):
+        timing = TimingModel(TimingParams())
+        assert timing.cost_of(result("dram", 200.0)) > timing.cost_of(result("l1", 4.0))
+
+    def test_account_accumulates(self):
+        timing = TimingModel(TimingParams())
+        timing.account(result("l1", 4.0))
+        timing.account(result("dram", 200.0))
+        assert timing.accesses == 2
+        assert timing.cycles == pytest.approx(
+            timing.cost_of(result("l1", 4.0)) + timing.cost_of(result("dram", 200.0))
+        )
+
+    def test_unknown_level_raises(self):
+        timing = TimingModel(TimingParams())
+        with pytest.raises(ValueError):
+            timing.cost_of(result("l4", 10.0))
+
+    def test_cycles_per_access(self):
+        timing = TimingModel(TimingParams(base_cycles_per_access=10.0, stall_weight_l1=0.0))
+        timing.account(result("l1", 4.0))
+        assert timing.cycles_per_access == pytest.approx(10.0)
+
+    def test_reset(self):
+        timing = TimingModel(TimingParams())
+        timing.account(result("l2", 9.0))
+        timing.reset()
+        assert timing.cycles == 0.0
+        assert timing.accesses == 0
+
+    def test_late_prefetch_latency_flows_through(self):
+        timing = TimingModel(TimingParams())
+        on_time = timing.cost_of(result("l2", 13.0))
+        late = timing.cost_of(result("l2", 113.0))
+        assert late > on_time
+
+    def test_instructions_retired(self):
+        timing = TimingModel(TimingParams())
+        timing.account(result("l1", 4.0))
+        timing.account(result("l1", 4.0))
+        assert timing.instructions_retired(3.0) == pytest.approx(6.0)
+
+
+class TestSimulationStats:
+    def make(self, **overrides) -> SimulationStats:
+        stats = SimulationStats(workload="w", configuration="c")
+        for key, value in overrides.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_accuracy(self):
+        stats = self.make(temporal_prefetches_issued=10, temporal_prefetches_useful=7)
+        assert stats.accuracy == pytest.approx(0.7)
+
+    def test_accuracy_with_no_prefetches_is_one(self):
+        assert self.make().accuracy == 1.0
+
+    def test_speedup(self):
+        baseline = self.make(cycles=2000.0)
+        mine = self.make(cycles=1000.0)
+        assert mine.speedup_relative_to(baseline) == pytest.approx(2.0)
+
+    def test_coverage(self):
+        baseline = self.make(l2_demand_misses=100)
+        mine = self.make(l2_demand_misses=30)
+        assert mine.coverage_relative_to(baseline) == pytest.approx(0.7)
+
+    def test_coverage_never_negative(self):
+        baseline = self.make(l2_demand_misses=10)
+        worse = self.make(l2_demand_misses=20)
+        assert worse.coverage_relative_to(baseline) == 0.0
+
+    def test_dram_traffic_normalisation(self):
+        baseline = self.make(dram_accesses=100)
+        mine = self.make(dram_accesses=128)
+        assert mine.dram_traffic_relative_to(baseline) == pytest.approx(1.28)
+
+    def test_l3_accesses_include_markov(self):
+        stats = self.make(l3_data_accesses=10, markov_accesses=5)
+        assert stats.total_l3_accesses == 15
+
+    def test_energy_normalisation(self):
+        baseline = self.make(dynamic_energy=100.0)
+        mine = self.make(dynamic_energy=110.0)
+        assert mine.energy_relative_to(baseline) == pytest.approx(1.1)
+
+    def test_zero_baseline_edge_cases(self):
+        baseline = self.make()
+        mine = self.make(dram_accesses=5)
+        assert mine.dram_traffic_relative_to(baseline) == float("inf")
+        assert baseline.coverage_relative_to(baseline) == 0.0
+
+    def test_as_dict_contains_key_metrics(self):
+        payload = self.make(accesses=10).as_dict()
+        assert payload["workload"] == "w"
+        assert "accuracy" in payload and "dram_accesses" in payload

@@ -1,0 +1,130 @@
+"""Unit/integration tests for the Triage prefetcher."""
+
+import pytest
+
+from repro.memory.hierarchy import DemandResult, HierarchyParams, MemoryHierarchy
+from repro.triage.triage import TriageConfig, TriagePrefetcher
+
+
+def miss(address: int) -> DemandResult:
+    return DemandResult(level="dram", latency=100.0, line_address=address, l2_miss=True)
+
+
+def l1_hit(address: int) -> DemandResult:
+    return DemandResult(level="l1", latency=4.0, line_address=address)
+
+
+@pytest.fixture
+def hierarchy(tiny_params):
+    return MemoryHierarchy(tiny_params)
+
+
+def make_triage(hierarchy, **overrides) -> TriagePrefetcher:
+    defaults = dict(lut_entries=64, lut_assoc=16, bloom_window=64)
+    defaults.update(overrides)
+    prefetcher = TriagePrefetcher(TriageConfig(**defaults))
+    prefetcher.attach(hierarchy)
+    return prefetcher
+
+
+def replay(prefetcher, sequence, repeats=3, pc=0x400):
+    """Feed a repeating miss sequence; return decisions from the final pass."""
+
+    decisions = []
+    for _ in range(repeats):
+        decisions = []
+        for address in sequence:
+            decisions.extend(prefetcher.observe(pc, address, miss(address), 0.0))
+    return decisions
+
+
+class TestBasicOperation:
+    def test_requires_attach(self):
+        prefetcher = TriagePrefetcher()
+        with pytest.raises(RuntimeError):
+            prefetcher.observe(0x400, 0x1000, miss(0x1000), 0.0)
+
+    def test_ignores_l1_hits(self, hierarchy):
+        prefetcher = make_triage(hierarchy)
+        assert prefetcher.observe(0x400, 0x1000, l1_hit(0x1000), 0.0) == []
+        assert prefetcher.stats.triggers == 0
+
+    def test_learns_repeating_sequence(self, hierarchy):
+        prefetcher = make_triage(hierarchy)
+        sequence = [0x10000 + i * 64 * 7 for i in range(20)]
+        decisions = replay(prefetcher, sequence, repeats=3)
+        assert prefetcher.stats.markov_updates > 0
+        assert len(decisions) > 10
+        # Prefetch targets are the successors in the trained sequence.
+        predicted = {d.address for d in decisions}
+        assert predicted & set(sequence)
+
+    def test_markov_accesses_charged_to_l3(self, hierarchy):
+        prefetcher = make_triage(hierarchy)
+        sequence = [0x20000 + i * 64 * 5 for i in range(10)]
+        replay(prefetcher, sequence, repeats=2)
+        assert hierarchy.stats.markov_accesses > 0
+
+    def test_partition_grows_via_bloom(self, hierarchy):
+        prefetcher = make_triage(hierarchy, bloom_window=32)
+        sequence = [0x30000 + i * 64 * 3 for i in range(200)]
+        replay(prefetcher, sequence, repeats=1)
+        assert prefetcher.markov.ways > 0
+        assert hierarchy.l3.reserved_ways == prefetcher.markov.ways
+
+    def test_training_pc_localised(self, hierarchy):
+        prefetcher = make_triage(hierarchy)
+        a = [0x40000 + i * 64 * 3 for i in range(10)]
+        b = [0x80000 + i * 64 * 3 for i in range(10)]
+        # Interleave two PCs: each trains its own stream, not the interleaving.
+        for _ in range(3):
+            for addr_a, addr_b in zip(a, b):
+                prefetcher.observe(0x400, addr_a, miss(addr_a), 0.0)
+                prefetcher.observe(0x500, addr_b, miss(addr_b), 0.0)
+        assert prefetcher.markov.lookup(a[0]) == a[1]
+        assert prefetcher.markov.lookup(b[0]) == b[1]
+
+
+class TestDegreeAndLookahead:
+    def test_degree_4_issues_chained_prefetches(self, hierarchy):
+        deg1 = make_triage(hierarchy, degree=1)
+        sequence = [0x50000 + i * 64 * 9 for i in range(16)]
+        deg1_decisions = replay(deg1, sequence, repeats=3)
+
+        hierarchy2 = MemoryHierarchy(hierarchy.params)
+        deg4 = make_triage(hierarchy2, degree=4)
+        deg4_decisions = replay(deg4, sequence, repeats=3)
+        assert len(deg4_decisions) > len(deg1_decisions)
+
+    def test_degree_4_charges_more_markov_accesses(self, tiny_params):
+        results = {}
+        for degree in (1, 4):
+            hierarchy = MemoryHierarchy(tiny_params)
+            prefetcher = make_triage(hierarchy, degree=degree)
+            sequence = [0x60000 + i * 64 * 9 for i in range(16)]
+            replay(prefetcher, sequence, repeats=3)
+            results[degree] = prefetcher.stats.markov_lookups
+        assert results[4] > results[1]
+
+    def test_lookahead_2_stores_skip_pairs(self, hierarchy):
+        prefetcher = make_triage(hierarchy, lookahead=2)
+        sequence = [0x70000 + i * 64 * 9 for i in range(10)]
+        replay(prefetcher, sequence, repeats=3)
+        # With lookahead 2, the entry for x points two elements ahead.
+        assert prefetcher.markov.lookup(sequence[0]) == sequence[2]
+
+    def test_invalid_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            TriageConfig(lookahead=3)
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            TriageConfig(degree=0)
+
+
+class TestCapacityOverride:
+    def test_max_entries_override_limits_occupancy(self, hierarchy):
+        prefetcher = make_triage(hierarchy, max_entries_override=8)
+        sequence = [0x90000 + i * 64 * 3 for i in range(50)]
+        replay(prefetcher, sequence, repeats=2)
+        assert prefetcher.markov.occupancy() <= 8

@@ -1,0 +1,183 @@
+"""Unit/integration tests for the Triangel prefetcher."""
+
+import pytest
+
+from repro.core.config import TriangelConfig
+from repro.core.triangel import TriangelPrefetcher
+from repro.memory.hierarchy import DemandResult, MemoryHierarchy
+
+
+def miss(address: int) -> DemandResult:
+    return DemandResult(level="dram", latency=100.0, line_address=address, l2_miss=True)
+
+
+def l1_hit(address: int) -> DemandResult:
+    return DemandResult(level="l1", latency=4.0, line_address=address)
+
+
+@pytest.fixture
+def hierarchy(tiny_params):
+    return MemoryHierarchy(tiny_params)
+
+
+def make_triangel(hierarchy, **overrides) -> TriangelPrefetcher:
+    defaults = dict(
+        sampler_entries=64,
+        training_entries=64,
+        second_chance_window_fills=256,
+        dueller_window=128,
+        bloom_window=128,
+        seed=0x1234,
+    )
+    defaults.update(overrides)
+    prefetcher = TriangelPrefetcher(TriangelConfig(**defaults))
+    prefetcher.attach(hierarchy)
+    return prefetcher
+
+
+def replay(prefetcher, sequence, repeats, pc=0x400):
+    decisions = []
+    for _ in range(repeats):
+        decisions = []
+        for address in sequence:
+            decisions.extend(prefetcher.observe(pc, address, miss(address), 0.0))
+    return decisions
+
+
+SEQUENCE = [0x100000 + i * 64 * 7 for i in range(24)]
+
+
+class TestGating:
+    def test_requires_attach(self):
+        prefetcher = TriangelPrefetcher()
+        with pytest.raises(RuntimeError):
+            prefetcher.observe(0x400, 0x1000, miss(0x1000), 0.0)
+
+    def test_ignores_l1_hits(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        assert prefetcher.observe(0x400, 0x1000, l1_hit(0x1000), 0.0) == []
+
+    def test_no_prefetches_before_confidence(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        decisions = replay(prefetcher, SEQUENCE, repeats=1)
+        assert decisions == []
+        assert prefetcher.stats.markov_updates == 0
+
+    def test_prefetches_once_confident(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        decisions = replay(prefetcher, SEQUENCE, repeats=12)
+        assert prefetcher.stats.markov_updates > 0
+        assert prefetcher.stats.prefetches_issued > 0
+        assert len(decisions) > 0
+
+    def test_random_stream_never_activates(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(800):
+            address = rng.randrange(1 << 20) * 64
+            prefetcher.observe(0x400, address, miss(address), 0.0)
+        assert prefetcher.stats.prefetches_issued < 20
+
+    def test_disabled_gates_behave_like_triage(self, hierarchy):
+        prefetcher = make_triangel(
+            hierarchy,
+            enable_reuse_conf=False,
+            enable_base_pattern_conf=False,
+            enable_high_pattern_conf=False,
+            sizing_mechanism="bloom",
+            bloom_bias=1.0,
+        )
+        decisions = replay(prefetcher, SEQUENCE, repeats=2)
+        # Without gating, training starts immediately and prefetches flow on
+        # the second pass.
+        assert prefetcher.stats.markov_updates > 0
+        assert decisions
+
+
+class TestAggression:
+    def test_lookahead_switches_to_two_when_saturated(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        replay(prefetcher, SEQUENCE, repeats=20)
+        entry = prefetcher.training_table.find(0x400)
+        assert entry is not None
+        if entry.high_pattern_conf.is_saturated:
+            assert entry.lookahead == 2
+
+    def test_degree_limited_without_high_confidence(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        entry, _, _ = prefetcher.training_table.find_or_allocate(0x400)
+        entry.high_pattern_conf.set(8)
+        assert prefetcher._degree_for(entry) == 1
+        entry.high_pattern_conf.set(12)
+        assert prefetcher._degree_for(entry) == prefetcher.config.max_degree
+
+    def test_lookahead_disabled_by_config(self, hierarchy):
+        prefetcher = make_triangel(hierarchy, enable_lookahead=False)
+        replay(prefetcher, SEQUENCE, repeats=15)
+        entry = prefetcher.training_table.find(0x400)
+        assert entry.lookahead == 1
+
+    def test_mrb_reduces_markov_lookups(self, tiny_params):
+        lookups = {}
+        for use_mrb in (True, False):
+            hierarchy = MemoryHierarchy(tiny_params)
+            prefetcher = make_triangel(hierarchy, use_mrb=use_mrb)
+            replay(prefetcher, SEQUENCE, repeats=15)
+            lookups[use_mrb] = prefetcher.stats.markov_lookups
+        assert lookups[True] <= lookups[False]
+
+    def test_high_degree_issues_multiple_targets_per_trigger(self, hierarchy):
+        prefetcher = make_triangel(hierarchy)
+        replay(prefetcher, SEQUENCE, repeats=20)
+        entry = prefetcher.training_table.find(0x400)
+        if entry.high_pattern_conf.value > 8:
+            decisions = prefetcher.observe(
+                0x400, SEQUENCE[0], miss(SEQUENCE[0]), 0.0
+            )
+            assert len(decisions) <= prefetcher.config.max_degree
+
+
+class TestSizing:
+    def test_set_dueller_resizes_partition(self, hierarchy):
+        prefetcher = make_triangel(hierarchy, dueller_window=64)
+        replay(prefetcher, SEQUENCE, repeats=15)
+        assert hierarchy.l3.reserved_ways == prefetcher.markov.ways
+
+    def test_bloom_variant_constructs_sizer(self, hierarchy):
+        prefetcher = make_triangel(hierarchy, sizing_mechanism="bloom", bloom_bias=1.5)
+        assert prefetcher.bloom_sizer is not None
+        assert prefetcher.dueller is None
+        replay(prefetcher, SEQUENCE, repeats=3)
+
+    def test_invalid_sizing_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            TriangelConfig(sizing_mechanism="oracle")
+
+
+class TestSecondChance:
+    def test_jittered_sequence_still_activates_with_scs(self, tiny_params):
+        """Loosely ordered repeats (Omnet-like) need the SCS to stay confident."""
+
+        import random
+
+        def run(enable_scs: bool) -> int:
+            hierarchy = MemoryHierarchy(tiny_params)
+            prefetcher = make_triangel(hierarchy, enable_second_chance=enable_scs)
+            rng = random.Random(11)
+            base_sequence = [0x200000 + i * 64 * 5 for i in range(24)]
+            for _ in range(20):
+                shuffled = list(base_sequence)
+                # Shuffle within blocks of 4: temporally close, out of order.
+                for start in range(0, len(shuffled), 4):
+                    block = shuffled[start : start + 4]
+                    rng.shuffle(block)
+                    shuffled[start : start + 4] = block
+                for address in shuffled:
+                    prefetcher.observe(0x400, address, miss(address), 0.0)
+            return prefetcher.stats.prefetches_issued
+
+        with_scs = run(True)
+        without_scs = run(False)
+        assert with_scs >= without_scs

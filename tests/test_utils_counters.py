@@ -1,0 +1,107 @@
+"""Unit tests for the saturating counters used by Triangel's classifiers."""
+
+import pytest
+
+from repro.utils.counters import SaturatingCounter
+
+
+class TestConstruction:
+    def test_default_is_4_bit_midpoint(self):
+        counter = SaturatingCounter()
+        assert counter.maximum == 15
+        assert counter.value == 8
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    def test_rejects_non_positive_steps(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(increment=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(decrement=0)
+
+
+class TestSaturation:
+    def test_saturates_at_maximum(self):
+        counter = SaturatingCounter(bits=4, initial=14)
+        counter.increase()
+        counter.increase()
+        assert counter.value == 15
+        assert counter.is_saturated
+
+    def test_saturates_at_zero(self):
+        counter = SaturatingCounter(bits=4, initial=1)
+        counter.decrease()
+        counter.decrease()
+        assert counter.value == 0
+
+    def test_increase_returns_new_value(self):
+        counter = SaturatingCounter(initial=8)
+        assert counter.increase() == 9
+
+
+class TestAsymmetricFactors:
+    """BasePatternConf (+1/-2) and HighPatternConf (+1/-5) thresholds (§4.4.2)."""
+
+    def test_base_pattern_conf_needs_two_thirds_accuracy(self):
+        counter = SaturatingCounter(bits=4, initial=8, increment=1, decrement=2)
+        # A 50%-accurate pattern: alternating up/down drifts downward.
+        for _ in range(10):
+            counter.increase()
+            counter.decrease()
+        assert counter.value < 8
+
+    def test_base_pattern_conf_saturates_on_accurate_pattern(self):
+        counter = SaturatingCounter(bits=4, initial=8, increment=1, decrement=2)
+        # 3 good : 1 bad (75% > 2/3) should climb on average.
+        for _ in range(20):
+            counter.increase()
+            counter.increase()
+            counter.increase()
+            counter.decrease()
+        assert counter.value > 8
+
+    def test_high_pattern_conf_five_sixths_threshold(self):
+        counter = SaturatingCounter(bits=4, initial=8, increment=1, decrement=5)
+        # 4 good : 1 bad (80% < 5/6) should not sustain high values.
+        for _ in range(20):
+            for _ in range(4):
+                counter.increase()
+            counter.decrease()
+        assert counter.value < 15
+
+
+class TestHelpers:
+    def test_above_initial(self):
+        counter = SaturatingCounter(initial=8)
+        assert not counter.above_initial()
+        counter.increase()
+        assert counter.above_initial()
+        counter.decrease()
+        counter.decrease()
+        assert not counter.above_initial()
+
+    def test_reset(self):
+        counter = SaturatingCounter(initial=8)
+        counter.increase()
+        counter.reset()
+        assert counter.value == 8
+
+    def test_set_clamps(self):
+        counter = SaturatingCounter(bits=4)
+        counter.set(100)
+        assert counter.value == 15
+        counter.set(-5)
+        assert counter.value == 0
+
+    def test_explicit_amounts(self):
+        counter = SaturatingCounter(initial=8)
+        counter.increase(3)
+        assert counter.value == 11
+        counter.decrease(4)
+        assert counter.value == 7

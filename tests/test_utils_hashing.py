@@ -1,0 +1,96 @@
+"""Unit tests for hashing and sampling primitives."""
+
+import pytest
+
+from repro.utils.hashing import LinearCongruentialSampler, fold_hash, mix64, tag_hash
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_distinct_inputs_usually_distinct(self):
+        outputs = {mix64(value) for value in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= mix64(2**70) < 2**64
+
+    def test_zero_input(self):
+        assert 0 <= mix64(0) < 2**64
+
+
+class TestFoldHash:
+    def test_result_fits_in_requested_bits(self):
+        for bits in (1, 4, 7, 10, 16):
+            assert 0 <= fold_hash(0xDEADBEEF, bits) < (1 << bits)
+
+    def test_zero_value(self):
+        assert fold_hash(0, 10) == 0
+
+    def test_small_value_unchanged(self):
+        assert fold_hash(0x3F, 10) == 0x3F
+
+    def test_upper_bits_influence_result(self):
+        low = fold_hash(0x123, 10)
+        high = fold_hash(0x123 | (1 << 40), 10)
+        assert low != high
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            fold_hash(5, 0)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            fold_hash(-1, 8)
+
+    def test_deterministic(self):
+        assert fold_hash(987654321, 10) == fold_hash(987654321, 10)
+
+
+class TestTagHash:
+    def test_default_is_10_bits(self):
+        assert 0 <= tag_hash(0xFFFF_FFFF_FFFF) < 1024
+
+    def test_collisions_are_rare_over_small_ranges(self):
+        tags = [tag_hash(line << 6) for line in range(512)]
+        # 512 values into a 1024-entry space: expect a majority to be unique.
+        assert len(set(tags)) > 300
+
+
+class TestLinearCongruentialSampler:
+    def test_uniform_range(self):
+        rng = LinearCongruentialSampler(seed=1)
+        values = [rng.uniform() for _ in range(1000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+
+    def test_deterministic_given_seed(self):
+        a = LinearCongruentialSampler(seed=42)
+        b = LinearCongruentialSampler(seed=42)
+        assert [a.next_raw() for _ in range(10)] == [b.next_raw() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = LinearCongruentialSampler(seed=1)
+        b = LinearCongruentialSampler(seed=2)
+        assert [a.next_raw() for _ in range(5)] != [b.next_raw() for _ in range(5)]
+
+    def test_sample_probability_zero_never_fires(self):
+        rng = LinearCongruentialSampler()
+        assert not any(rng.sample(0.0) for _ in range(100))
+
+    def test_sample_probability_one_always_fires(self):
+        rng = LinearCongruentialSampler()
+        assert all(rng.sample(1.0) for _ in range(100))
+
+    def test_sample_probability_roughly_respected(self):
+        rng = LinearCongruentialSampler(seed=7)
+        hits = sum(rng.sample(0.25) for _ in range(4000))
+        assert 800 < hits < 1200
+
+    def test_randint_range(self):
+        rng = LinearCongruentialSampler(seed=3)
+        assert all(0 <= rng.randint(7) < 7 for _ in range(200))
+
+    def test_randint_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LinearCongruentialSampler().randint(0)
