@@ -1,9 +1,11 @@
 """Legacy setup shim.
 
 The canonical project metadata lives in ``pyproject.toml``.  This file exists
-so that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
-offline machines that lack the ``wheel`` package (PEP 517 editable installs
-require it); the legacy develop-mode path used through this shim does not.
+so that ``python setup.py develop`` works on offline machines that lack the
+``wheel`` package (PEP 517 editable installs require it, and pip refuses
+``--no-use-pep517`` without it); the legacy develop-mode path used through
+this shim does not.  Anywhere ``wheel`` is available — CI, normal dev
+machines — plain ``pip install -e .`` works.
 """
 
 from setuptools import setup

@@ -1,6 +1,6 @@
 """Command-line interface for the Triangel reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 ``list``
     Show the available workloads and prefetcher configurations.
@@ -11,14 +11,25 @@ Three subcommands cover the common workflows without writing any Python:
 ``figure``
     Regenerate one of the paper's figures or tables and print it as a text
     table (the same output the benchmark harness produces).
+``cache``
+    Inspect (``show``) or empty (``clear``) the persistent result store
+    that ``run`` and ``figure`` read and write under ``.repro_cache/``.
+
+``run`` and ``figure`` accept ``--jobs N`` to execute simulation matrices in
+N worker processes, and ``--cache-dir`` to relocate the result store (the
+``REPRO_CACHE_DIR`` environment variable does the same).  A second
+invocation with the same parameters replays completed simulations from the
+store instead of re-running them.
 
 Examples::
 
     python -m repro list
     python -m repro run xalan --config triangel --config triage
     python -m repro run mcf --trace-length 20000 --max-accesses 10000
-    python -m repro figure fig10
+    python -m repro figure fig10 --jobs 4
     python -m repro figure table1
+    python -m repro cache show
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Callable, Sequence
 from repro.experiments import figures
 from repro.experiments.configs import available_configurations
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore, default_store
 from repro.sim.config import SystemConfig
 from repro.workloads.registry import available_workloads
 
@@ -86,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scale", type=float, default=1.0, help="system scale factor (1.0 = default sim scale)"
     )
+    _add_execution_arguments(run_parser)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures or tables"
@@ -101,7 +114,42 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument(
         "--max-accesses", type=int, default=None, help="cap the sampled accesses per run"
     )
+    _add_execution_arguments(figure_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent result store"
+    )
+    cache_parser.add_argument(
+        "action", choices=("show", "clear"), help="what to do with the store"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None, help="result-store directory (default: .repro_cache)"
+    )
     return parser
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simulation matrices (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store directory (default: .repro_cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result store for this invocation",
+    )
+
+
+def _store_for(args: argparse.Namespace) -> ResultStore:
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultStore(cache_dir) if cache_dir else default_store()
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -113,6 +161,9 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         max_accesses=getattr(args, "max_accesses", None),
         trace_overrides=overrides,
         warmup_fraction=getattr(args, "warmup_fraction", 0.4),
+        use_cache=not getattr(args, "no_cache", False),
+        jobs=getattr(args, "jobs", 1),
+        store=_store_for(args),
     )
 
 
@@ -127,13 +178,17 @@ def _command_list() -> str:
 def _command_run(args: argparse.Namespace) -> str:
     runner = _make_runner(args)
     configurations = args.config or ["triage", "triangel"]
-    baseline = runner.run(args.workload, "baseline")
+    # One batch for the baseline plus every requested configuration, so
+    # --jobs parallelises across them and the store is consulted once.
+    matrix = runner.run_matrix([args.workload], ["baseline"] + configurations)
+    per_config = matrix[args.workload]
+    baseline = per_config["baseline"]
     lines = [
         f"workload: {args.workload} ({baseline.accesses} sampled accesses)",
         f"{'configuration':<20} {'speedup':>8} {'dram':>7} {'accuracy':>9} {'coverage':>9} {'markov ways':>12}",
     ]
     for configuration in configurations:
-        stats = runner.run(args.workload, configuration)
+        stats = per_config[configuration]
         lines.append(
             f"{configuration:<20} "
             f"{stats.speedup_relative_to(baseline):>8.3f} "
@@ -152,6 +207,22 @@ def _command_figure(args: argparse.Namespace) -> str:
     return FIGURE_COMMANDS[args.name](runner).rendered
 
 
+def _command_cache(args: argparse.Namespace) -> str:
+    store = _store_for(args)
+    if args.action == "clear":
+        dropped = store.clear()
+        return f"cleared {dropped} cached result(s) from {store.directory}"
+    info = store.stats()
+    size = store.results_path.stat().st_size if store.results_path.exists() else 0
+    return "\n".join(
+        [
+            f"store:   {info.path}",
+            f"entries: {info.entries}",
+            f"size:    {size} bytes",
+        ]
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -160,6 +231,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_command_run(args))
     elif args.command == "figure":
         print(_command_figure(args))
+    elif args.command == "cache":
+        print(_command_cache(args))
     return 0
 
 

@@ -1,4 +1,12 @@
-"""Experiment harness: named configurations, the runner, and per-figure experiments."""
+"""Experiment harness: specs, the batch executor, the result store, and figures.
+
+Execution is layered: a :class:`~repro.experiments.jobs.RunSpec` describes
+one simulation, the :class:`~repro.experiments.parallel.BatchExecutor` runs
+deduplicated batches of specs (optionally in worker processes), and the
+:class:`~repro.experiments.store.ResultStore` persists completed runs across
+processes.  :class:`~repro.experiments.runner.ExperimentRunner` is the
+high-level interface the figures and CLI use.
+"""
 
 from repro.experiments.configs import (
     ABLATION_LADDER,
@@ -7,7 +15,10 @@ from repro.experiments.configs import (
     available_configurations,
     build_prefetchers,
 )
+from repro.experiments.jobs import RunSpec, execute_spec
+from repro.experiments.parallel import BatchExecutor
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore, default_store, set_default_store
 from repro.experiments import figures
 
 __all__ = [
@@ -16,6 +27,12 @@ __all__ = [
     "METADATA_FORMAT_CONFIGS",
     "available_configurations",
     "build_prefetchers",
+    "BatchExecutor",
     "ExperimentRunner",
+    "ResultStore",
+    "RunSpec",
+    "default_store",
+    "execute_spec",
+    "set_default_store",
     "figures",
 ]

@@ -1,0 +1,230 @@
+"""Immutable run specifications: the unit of work of the experiment layer.
+
+A :class:`RunSpec` fully describes one simulation — workload, configuration
+name, the complete system parameters, trace overrides, warm-up fraction and
+access cap — as a frozen, hashable value.  It replaces the ad-hoc tuple keys
+the runner used to build for its module-global caches, and it is the only
+thing that crosses a process boundary when runs execute in parallel: a
+worker rebuilds the trace, hierarchy and prefetcher stack from the spec, so
+nothing unpicklable (caches, simulators, factories) ever has to.
+
+The spec's :meth:`RunSpec.content_hash` keys the persistent result store
+(:mod:`repro.experiments.store`).  It hashes the canonical JSON form of
+every field plus a code-version salt derived from the simulator sources, so
+results cached by one version of the code are never replayed by another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.sim.config import SystemConfig, TimingParams
+from repro.memory.hierarchy import HierarchyParams
+from repro.sim.stats import SimulationStats
+
+#: Bump to force-invalidate every persisted result regardless of source hash.
+SPEC_SCHEMA_VERSION = 1
+
+#: Package subtrees whose sources determine simulation results.  Anything
+#: else (CLI, reports, rendering) can change without invalidating the store.
+_SIMULATION_SOURCES = (
+    "core",
+    "memory",
+    "prefetch",
+    "sim",
+    "triage",
+    "utils",
+    "workloads",
+    "experiments/configs.py",
+    # this module: it computes the warm-up length and drives the simulator.
+    "experiments/jobs.py",
+)
+
+_code_version_cache: str | None = None
+
+
+def code_version() -> str:
+    """A digest of every source file that can affect simulation results.
+
+    Used as a salt in :meth:`RunSpec.content_hash` so that persisted results
+    are automatically invalidated whenever the simulator changes, without
+    anyone having to remember to bump a version constant.
+    """
+
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256(f"schema={SPEC_SCHEMA_VERSION}".encode())
+        for entry in _SIMULATION_SOURCES:
+            path = package_root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for file in files:
+                digest.update(str(file.relative_to(package_root)).encode())
+                digest.update(file.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def _freeze(value):
+    """Recursively convert mappings/sequences to sorted, hashable tuples."""
+
+    if isinstance(value, Mapping):
+        return tuple(sorted((key, _freeze(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` for key/value trees."""
+
+    if isinstance(value, tuple):
+        if all(isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str) for item in value):
+            return {key: _thaw(item) for key, item in value}
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to (re)run one (workload × configuration) cell.
+
+    Instances are created through :meth:`RunSpec.create`, which canonicalises
+    the mutable inputs (the system config becomes a frozen parameter tree,
+    trace overrides a key-sorted tuple) so that equal simulations compare and
+    hash equal no matter how their inputs were spelled.
+    """
+
+    workload: str
+    configuration: str
+    system: tuple
+    trace_overrides: tuple
+    warmup_fraction: float = 0.4
+    max_accesses: int | None = None
+
+    @classmethod
+    def create(
+        cls,
+        workload: str,
+        configuration: str,
+        system: SystemConfig,
+        trace_overrides: Mapping | None = None,
+        warmup_fraction: float = 0.4,
+        max_accesses: int | None = None,
+    ) -> "RunSpec":
+        return cls(
+            workload=workload,
+            configuration=configuration,
+            system=_freeze(asdict(system)),
+            trace_overrides=_freeze(dict(trace_overrides or {})),
+            warmup_fraction=warmup_fraction,
+            max_accesses=max_accesses,
+        )
+
+    # -- reconstruction -----------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        """Rebuild the full :class:`SystemConfig` this spec was created from."""
+
+        data = _thaw(self.system)
+        hierarchy = HierarchyParams(**data.pop("hierarchy"))
+        timing = TimingParams(**data.pop("timing"))
+        return SystemConfig(hierarchy=hierarchy, timing=timing, **data)
+
+    def trace_overrides_dict(self) -> dict:
+        return _thaw(self.trace_overrides) or {}
+
+    # -- identity -----------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serialisable canonical form (also stored alongside results)."""
+
+        return {
+            "workload": self.workload,
+            "configuration": self.configuration,
+            "system": _thaw(self.system),
+            "trace_overrides": self.trace_overrides_dict(),
+            "warmup_fraction": self.warmup_fraction,
+            "max_accesses": self.max_accesses,
+        }
+
+    def content_hash(self) -> str:
+        """Hex digest keying the persistent store (salted by code version)."""
+
+        canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(f"{code_version()}|{canonical}".encode())
+        return digest.hexdigest()
+
+
+# Traces are regenerated deterministically, so each process (the parent's
+# serial path and every pool worker alike) memoises them: a matrix runs each
+# workload under many configurations against the same trace.  This is the
+# single per-process trace memo; the runner's ``trace_for`` delegates here.
+_TRACE_MEMO: dict[tuple, object] = {}
+
+
+def trace_for_workload(workload: str, overrides: Mapping | None = None):
+    """The (memoised) trace for a workload under the given overrides."""
+
+    from repro.workloads.registry import generate_workload
+
+    key = (workload, _freeze(dict(overrides or {})))
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = generate_workload(workload, **dict(overrides or {}))
+        _TRACE_MEMO[key] = trace
+    return trace
+
+
+def _trace_for_spec(spec: "RunSpec"):
+    return trace_for_workload(spec.workload, spec.trace_overrides_dict())
+
+
+def clear_trace_memo() -> None:
+    _TRACE_MEMO.clear()
+
+
+def execute_spec(spec: RunSpec, trace=None, factory=None) -> SimulationStats:
+    """Run the simulation a spec describes and return its statistics.
+
+    This is the worker function of :mod:`repro.experiments.parallel`: it
+    builds everything — trace, hierarchy, prefetchers, timing model — from
+    the spec alone, so it can run in a fresh process.  ``trace`` lets the
+    in-process serial path reuse an already-generated trace, and ``factory``
+    substitutes a call-time prefetcher factory for the registry lookup (the
+    runner's extra-factory path; in-process only, since factories don't
+    pickle).  Either way this is the *single* place a spec becomes a run, so
+    registry and extra-factory results can never diverge.
+    """
+
+    # Imported here (not at module top) to keep spec hashing importable
+    # without dragging in the whole simulator, and to avoid an import cycle
+    # with the configuration registry.
+    from repro.experiments.configs import build_prefetchers
+    from repro.sim.engine import Simulator
+    from repro.sim.timing import TimingModel
+
+    system = spec.system_config()
+    if trace is None:
+        trace = _trace_for_spec(spec)
+    if factory is not None:
+        prefetchers = factory(system)
+    else:
+        prefetchers = build_prefetchers(spec.configuration, system)
+    simulator = Simulator(
+        system.build_hierarchy(),
+        prefetchers,
+        timing=TimingModel(system.timing),
+        config=system,
+        configuration_name=spec.configuration,
+    )
+    warmup = int(len(trace) * spec.warmup_fraction)
+    result = simulator.run(
+        trace,
+        max_accesses=spec.max_accesses,
+        workload_name=spec.workload,
+        warmup_accesses=warmup,
+    )
+    return result.stats

@@ -1,0 +1,75 @@
+"""Batch execution of run specs: dedupe, check the store, fan out, write back.
+
+The :class:`BatchExecutor` is the middle layer between the experiment runner
+(and the figure harness) and the simulator: callers declare every
+(workload × configuration) cell they need as a list of
+:class:`~repro.experiments.jobs.RunSpec` and submit the whole batch at once.
+The executor
+
+1. deduplicates the batch (figures share most of their cells),
+2. satisfies what it can from the :class:`~repro.experiments.store.
+   ResultStore`,
+3. runs the misses — in-process when ``jobs == 1``, otherwise on a
+   ``ProcessPoolExecutor`` whose workers rebuild everything from the picked
+   spec (see :func:`~repro.experiments.jobs.execute_spec`), and
+4. writes fresh results back to the store so later batches, processes and
+   benchmark sessions skip them.
+
+Results are deterministic regardless of ``jobs``: every simulation is
+independent and seeded, and ``pool.map`` preserves submission order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.jobs import RunSpec, execute_spec
+from repro.experiments.store import ResultStore
+from repro.sim.stats import SimulationStats
+
+
+@dataclass
+class BatchExecutor:
+    """Runs batches of specs against an optional store, optionally in parallel.
+
+    ``store=None`` disables persistence (every spec is executed); ``jobs``
+    caps the worker processes — ``1`` keeps everything in-process, which is
+    also the fallback when a batch has a single miss (spawning a pool for
+    one job costs more than it saves).
+    """
+
+    store: ResultStore | None = None
+    jobs: int = 1
+
+    def run(self, specs: Sequence[RunSpec]) -> dict[RunSpec, SimulationStats]:
+        """Execute a batch; returns a spec → stats mapping for unique specs."""
+
+        unique = list(dict.fromkeys(specs))
+        results: dict[RunSpec, SimulationStats] = {}
+        misses: list[RunSpec] = []
+        for spec in unique:
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                results[spec] = cached
+            else:
+                misses.append(spec)
+
+        # Results are persisted as they arrive, so an interrupt or a failing
+        # cell loses only the work still in flight, never completed runs.
+        def complete(spec: RunSpec, stats: SimulationStats) -> None:
+            results[spec] = stats
+            if self.store is not None:
+                self.store.put(spec, stats)
+
+        if self.jobs > 1 and len(misses) > 1:
+            workers = min(self.jobs, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(execute_spec, spec): spec for spec in misses}
+                for future in as_completed(futures):
+                    complete(futures[future], future.result())
+        else:
+            for spec in misses:
+                complete(spec, execute_spec(spec))
+        return results

@@ -1,38 +1,63 @@
-"""The experiment runner: (workload × configuration) matrices with caching.
+"""The experiment runner: (workload × configuration) matrices of simulations.
 
-Figures 10-15 all plot the same underlying runs (one per workload per
-configuration), just through different metrics.  The runner therefore caches
-completed runs — keyed by workload, configuration, system and trace length —
-so the first figure's benchmark pays for the simulations and the rest reuse
-them.  Traces are cached too, since generation is deterministic.
+Execution flows through three layers (spec → executor → store):
+
+* every cell is first described as an immutable
+  :class:`~repro.experiments.jobs.RunSpec` (workload, configuration, full
+  system parameters, trace overrides, warm-up, access cap);
+* :meth:`ExperimentRunner.run_matrix` submits the whole matrix as one batch
+  to a :class:`~repro.experiments.parallel.BatchExecutor`, which dedupes
+  specs, satisfies what it can from the store, and runs the misses — in
+  parallel worker processes when ``jobs > 1``;
+* completed runs land in the persistent
+  :class:`~repro.experiments.store.ResultStore` under ``.repro_cache/``
+  (keyed by spec content hash + code-version salt), so figures 10-15 — which
+  all plot the same underlying runs — share work, and *later processes*
+  (benchmark sessions, CLI invocations) skip completed simulations entirely.
+
+Configurations supplied as call-time ``extra_factories`` (the ablation
+ladder, metadata-format and replacement studies) cannot be rebuilt from a
+spec in a worker process, and their display names alone do not identify
+their parameters, so they run in-process and are memoised for the life of
+the process only.  Traces are memoised per process too, since generation is
+deterministic and cheap relative to simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.analysis.metrics import add_geomean_row, normalize_against_baseline
-from repro.experiments.configs import ALL_CONFIGS, ConfigFactory, build_prefetchers
+from repro.experiments.configs import ALL_CONFIGS, ConfigFactory
+from repro.experiments.jobs import RunSpec, execute_spec, trace_for_workload
+from repro.experiments.jobs import clear_trace_memo as jobs_clear_trace_memo
+from repro.experiments.parallel import BatchExecutor
+from repro.experiments.store import ResultStore, default_store
 from repro.sim.config import SystemConfig
-from repro.sim.engine import Simulator
 from repro.sim.multiprogram import MultiProgramResult, MultiProgramSimulator
 from repro.sim.stats import SimulationStats
-from repro.sim.timing import TimingModel
 from repro.workloads.registry import generate_workload
 from repro.workloads.trace import Trace
 
-# Module-level caches shared by every runner instance in the process, so that
-# successive benchmark modules (fig. 10, fig. 11, ...) reuse each other's runs.
-_TRACE_CACHE: dict[tuple, Trace] = {}
-_RUN_CACHE: dict[tuple, SimulationStats] = {}
+# Process-local memo for runs of call-time extra factories, keyed by the
+# factory object itself (weakly, so dead factories free their entries): a
+# factory's display name does not identify its parameters, so the spec alone
+# must never key a cache two differently-parameterised factories can share.
+# The trace memo lives in :mod:`repro.experiments.jobs`, shared with the
+# executor's worker path.
+_EXTRA_RUN_CACHE: "WeakKeyDictionary[ConfigFactory, dict[RunSpec, SimulationStats]]" = (
+    WeakKeyDictionary()
+)
 
 
 def clear_caches() -> None:
-    """Drop all cached traces and runs (used by tests)."""
+    """Drop the process-local memos *and* the persistent default store."""
 
-    _TRACE_CACHE.clear()
-    _RUN_CACHE.clear()
+    _EXTRA_RUN_CACHE.clear()
+    jobs_clear_trace_memo()
+    default_store().clear()
 
 
 @dataclass
@@ -48,16 +73,42 @@ class ExperimentRunner:
     #: 50M-instruction warm-up per 5M-instruction sample (which is 10x the
     #: sample length; shorter here to keep simulation time reasonable).
     warmup_fraction: float = 0.4
+    #: worker processes for batch execution; 1 keeps everything in-process.
+    jobs: int = 1
+    #: result store; ``None`` means the process-wide default store.
+    store: ResultStore | None = None
+
+    # -- the spec → executor → store plumbing --------------------------------
+    def spec_for(self, workload: str, configuration: str) -> RunSpec:
+        """The immutable spec describing one cell under this runner."""
+
+        return RunSpec.create(
+            workload=workload,
+            configuration=configuration,
+            system=self.system,
+            trace_overrides=self.trace_overrides,
+            warmup_fraction=self.warmup_fraction,
+            max_accesses=self.max_accesses,
+        )
+
+    def _store(self) -> ResultStore | None:
+        if not self.use_cache:
+            return None
+        return self.store if self.store is not None else default_store()
+
+    def _executor(self) -> BatchExecutor:
+        return BatchExecutor(store=self._store(), jobs=self.jobs)
+
+    def submit(self, specs: Sequence[RunSpec]) -> dict[RunSpec, SimulationStats]:
+        """Batch-run arbitrary specs through the executor and store."""
+
+        return self._executor().run(specs)
 
     # -- traces -------------------------------------------------------------
     def trace_for(self, workload: str) -> Trace:
-        key = (workload, tuple(sorted(self.trace_overrides.items())))
-        if self.use_cache and key in _TRACE_CACHE:
-            return _TRACE_CACHE[key]
-        trace = generate_workload(workload, **self.trace_overrides)
-        if self.use_cache:
-            _TRACE_CACHE[key] = trace
-        return trace
+        if not self.use_cache:
+            return generate_workload(workload, **self.trace_overrides)
+        return trace_for_workload(workload, self.trace_overrides)
 
     # -- single runs --------------------------------------------------------
     def run(
@@ -70,43 +121,24 @@ class ExperimentRunner:
 
         ``extra_factory`` allows running a configuration that is not in the
         global registry (used by the ablation and replacement studies, whose
-        configurations are parameterised at call time).
+        configurations are parameterised at call time); such runs stay
+        in-process and are never persisted.
         """
 
-        key = (
-            workload,
-            configuration,
-            self.system.name,
-            self.max_accesses,
-            self.warmup_fraction,
-            tuple(sorted(self.trace_overrides.items())),
-        )
-        if self.use_cache and key in _RUN_CACHE:
-            return _RUN_CACHE[key]
-
-        trace = self.trace_for(workload)
-        hierarchy = self.system.build_hierarchy()
+        spec = self.spec_for(workload, configuration)
         if extra_factory is not None:
-            prefetchers = extra_factory(self.system)
-        else:
-            prefetchers = build_prefetchers(configuration, self.system)
-        simulator = Simulator(
-            hierarchy,
-            prefetchers,
-            timing=TimingModel(self.system.timing),
-            config=self.system,
-            configuration_name=configuration,
-        )
-        warmup = int(len(trace) * self.warmup_fraction)
-        result = simulator.run(
-            trace,
-            max_accesses=self.max_accesses,
-            workload_name=workload,
-            warmup_accesses=warmup,
-        )
-        stats = result.stats
+            return self._run_extra(spec, extra_factory)
+        return self.submit([spec])[spec]
+
+    def _run_extra(self, spec: RunSpec, factory: ConfigFactory) -> SimulationStats:
+        """In-process run of a call-time-parameterised configuration."""
+
+        per_factory = _EXTRA_RUN_CACHE.setdefault(factory, {}) if self.use_cache else {}
+        if spec in per_factory:
+            return per_factory[spec]
+        stats = execute_spec(spec, trace=self.trace_for(spec.workload), factory=factory)
         if self.use_cache:
-            _RUN_CACHE[key] = stats
+            per_factory[spec] = stats
         return stats
 
     # -- matrices -------------------------------------------------------------
@@ -116,19 +148,42 @@ class ExperimentRunner:
         configurations: Sequence[str],
         extra_factories: Mapping[str, ConfigFactory] | None = None,
     ) -> dict[str, dict[str, SimulationStats]]:
-        """Run every (workload × configuration) pair; return stats per cell."""
+        """Run every (workload × configuration) pair; return stats per cell.
+
+        The full matrix of registry configurations is declared up front and
+        submitted as one batch, so the executor can dedupe it, replay
+        completed cells from the store, and run the rest in parallel.
+        """
 
         extra_factories = dict(extra_factories or {})
+        named: list[str] = []
+        for configuration in configurations:
+            if configuration in extra_factories:
+                continue
+            if configuration not in ALL_CONFIGS:
+                raise ValueError(f"unknown configuration {configuration!r}")
+            named.append(configuration)
+
+        cell_specs = {
+            (workload, configuration): self.spec_for(workload, configuration)
+            for workload in workloads
+            for configuration in named
+        }
+        batch = self._executor().run(list(cell_specs.values()))
+
         results: dict[str, dict[str, SimulationStats]] = {}
         for workload in workloads:
             results[workload] = {}
             for configuration in configurations:
                 factory = extra_factories.get(configuration)
-                if factory is None and configuration not in ALL_CONFIGS:
-                    raise ValueError(f"unknown configuration {configuration!r}")
-                results[workload][configuration] = self.run(
-                    workload, configuration, extra_factory=factory
-                )
+                if factory is not None:
+                    results[workload][configuration] = self.run(
+                        workload, configuration, extra_factory=factory
+                    )
+                else:
+                    results[workload][configuration] = batch[
+                        cell_specs[(workload, configuration)]
+                    ]
         return results
 
     def normalized_matrix(

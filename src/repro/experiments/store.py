@@ -1,0 +1,232 @@
+"""Persistent, process-shared storage for completed simulation results.
+
+The store is a JSON-lines file under a cache directory (``.repro_cache/`` by
+default, overridable with the ``REPRO_CACHE_DIR`` environment variable or
+per-store).  Each record holds a :class:`~repro.experiments.jobs.RunSpec`
+content hash, the spec's canonical form (for inspection), and the raw
+:class:`~repro.sim.stats.SimulationStats` counters.  Because the key hashes
+every spec field *plus* a code-version salt, a store can be shared freely
+between processes, benchmark sessions and CLI invocations: a stale entry can
+never be replayed, it simply stops being found.
+
+Appends of single JSON lines are atomic enough for the way the store is
+written (the batch executor writes results from the parent process only), and
+on load the *last* record for a key wins, so concurrent benchmark sessions
+sharing one directory degrade to harmless duplicate work rather than
+corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.jobs import RunSpec, code_version
+from repro.sim.stats import SimulationStats
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Directory used when neither the env var nor an explicit path is given.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_RESULTS_FILENAME = "results.jsonl"
+
+
+def stats_to_payload(stats: SimulationStats) -> dict:
+    """Flatten stats to a JSON-safe dict (exact float round-trip)."""
+
+    from dataclasses import asdict
+
+    return asdict(stats)
+
+
+def stats_from_payload(payload: dict) -> SimulationStats:
+    return SimulationStats(**payload)
+
+
+@dataclass
+class StoreStats:
+    """Counters describing one store instance's traffic and contents."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    entries: int = 0
+    path: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "entries": self.entries,
+            "path": self.path,
+        }
+
+
+@dataclass
+class ResultStore:
+    """On-disk result store keyed by ``RunSpec.content_hash()``.
+
+    ``get``/``put`` keep live :class:`SimulationStats` objects in an
+    in-memory index, so repeated gets within one process return the *same*
+    object (preserving the old module-cache identity semantics); payloads
+    read from disk are deserialised lazily, once.
+    """
+
+    directory: Path | None = None
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    _index: dict | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.directory is None:
+            self.directory = Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+        self.directory = Path(self.directory)
+
+    # -- persistence --------------------------------------------------------
+    @property
+    def results_path(self) -> Path:
+        return self.directory / _RESULTS_FILENAME
+
+    def _load_index(self) -> dict:
+        if self._index is None:
+            self._index = {}
+            try:
+                text = self.results_path.read_text()
+            except OSError:
+                # Missing or unreadable store: start empty; the in-memory
+                # index still gives within-process caching.
+                return self._index
+            current_version = code_version()
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn/partial line: skip, never crash
+                key = record.get("key")
+                if not key:
+                    continue
+                if record.get("v") != current_version:
+                    # Written by a different code version: its key can never
+                    # be looked up (the hash is version-salted), so skipping
+                    # it bounds the index and keeps `entries` honest.
+                    continue
+                if record.get("deleted"):
+                    self._index.pop(key, None)
+                elif "stats" in record:
+                    self._index[key] = record["stats"]
+        return self._index
+
+    def _append(self, record: dict) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with self.results_path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+        except OSError:
+            # Unwritable store (read-only checkout, sandbox): a completed
+            # simulation must never be lost to a cache write, so degrade to
+            # the in-memory index and stay quiet.
+            pass
+
+    # -- store API ----------------------------------------------------------
+    def get(self, spec: RunSpec) -> SimulationStats | None:
+        """Return the stored stats for a spec, or ``None`` (counts hit/miss)."""
+
+        index = self._load_index()
+        key = spec.content_hash()
+        entry = index.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not isinstance(entry, SimulationStats):
+            entry = stats_from_payload(entry)
+            index[key] = entry
+        self.hits += 1
+        return entry
+
+    def put(self, spec: RunSpec, stats: SimulationStats) -> None:
+        """Persist one result (and keep the live object for in-process gets)."""
+
+        key = spec.content_hash()
+        self._append(
+            {
+                "key": key,
+                "v": code_version(),
+                "spec": spec.as_dict(),
+                "stats": stats_to_payload(stats),
+            }
+        )
+        self._load_index()[key] = stats
+        self.puts += 1
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.content_hash() in self._load_index()
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Drop one entry (tombstone record); returns whether it existed."""
+
+        key = spec.content_hash()
+        index = self._load_index()
+        if key not in index:
+            return False
+        del index[key]
+        self._append({"key": key, "v": code_version(), "deleted": True})
+        return True
+
+    def clear(self) -> int:
+        """Remove every persisted result; returns how many were dropped."""
+
+        dropped = len(self._load_index())
+        self._index = {}
+        try:
+            self.results_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return dropped
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            entries=len(self),
+            path=str(self.directory),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default store (what ExperimentRunner uses unless told
+# otherwise).  Tests point it at a temporary directory; the benchmark
+# harness points it at a directory shared across sessions.
+# ---------------------------------------------------------------------------
+_default_store: ResultStore | None = None
+
+
+def default_store() -> ResultStore:
+    """The lazily-created process-wide store (honours ``REPRO_CACHE_DIR``)."""
+
+    global _default_store
+    if _default_store is None:
+        _default_store = ResultStore()
+    return _default_store
+
+
+def set_default_store(store: ResultStore | None) -> ResultStore | None:
+    """Replace the process-wide store; returns the previous one."""
+
+    global _default_store
+    previous = _default_store
+    _default_store = store
+    return previous

@@ -83,20 +83,23 @@ class Simulator:
         warmup_stats = SimulationStats(
             workload=workload_name, configuration=self.configuration_name
         )
-        iterator = iter(trace)
-        consumed = 0
-        for access in iterator:
-            if consumed >= warmup_accesses:
+        warmed = 0
+        sampling = False
+        for access in trace:
+            if warmed < warmup_accesses:
+                self.step(access, warmup_stats)
+                warmed += 1
+                continue
+            if not sampling:
                 self._begin_sampling()
-                self.step(access, stats)
-                consumed += 1
-                break
-            self.step(access, warmup_stats)
-            consumed += 1
-        for access in iterator:
+                sampling = True
             if max_accesses is not None and stats.accesses >= max_accesses:
                 break
             self.step(access, stats)
+        if not sampling:
+            # Warm-up consumed the whole trace: reset the counters anyway so
+            # the (empty) sample reports zeros rather than warm-up activity.
+            self._begin_sampling()
         self._finalise(stats)
         return SimulationResult(
             stats=stats,

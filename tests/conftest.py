@@ -9,10 +9,26 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import store as store_module
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.memory.partitioned_cache import PartitionedCache
 from repro.sim.config import SystemConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the default persistent store at a per-test temporary directory.
+
+    Tests must never read results persisted by earlier runs (or by the
+    benchmark harness), and ``clear_caches()`` — which clears the default
+    store — must never wipe a store the user cares about.
+    """
+
+    monkeypatch.setenv(store_module.CACHE_DIR_ENV, str(tmp_path / "repro_cache"))
+    previous = store_module.set_default_store(None)
+    yield
+    store_module.set_default_store(previous)
 
 
 @pytest.fixture

@@ -64,3 +64,70 @@ class TestCommands:
     def test_figure_table2(self, capsys):
         assert main(["figure", "table2"]) == 0
         assert "L3 Cache" in capsys.readouterr().out
+
+
+class TestExecutionOptions:
+    def test_jobs_and_cache_dir_accepted(self, tmp_path):
+        args = build_parser().parse_args(
+            ["figure", "fig10", "--jobs", "4", "--cache-dir", str(tmp_path)]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == str(tmp_path)
+
+    def test_run_populates_named_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "run",
+            "xalan",
+            "--config",
+            "triage",
+            "--trace-length",
+            "1200",
+            "--max-accesses",
+            "500",
+            "--cache-dir",
+            cache,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "show", "--cache-dir", cache]) == 0
+        output = capsys.readouterr().out
+        assert "entries: 2" in output  # baseline + triage
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(
+            [
+                "run",
+                "xalan",
+                "--trace-length",
+                "1200",
+                "--max-accesses",
+                "400",
+                "--cache-dir",
+                cache,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "cleared 3" in capsys.readouterr().out  # baseline, triage, triangel
+
+    def test_no_cache_bypasses_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "run",
+            "xalan",
+            "--config",
+            "triage",
+            "--trace-length",
+            "1200",
+            "--max-accesses",
+            "400",
+            "--cache-dir",
+            cache,
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        main(["cache", "show", "--cache-dir", cache])
+        assert "entries: 0" in capsys.readouterr().out

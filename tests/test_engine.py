@@ -48,6 +48,34 @@ class TestBasicRuns:
         result = simulator.run(generate_sequential_trace(lines=1000), max_accesses=100)
         assert result.stats.accesses == 100
 
+    def test_max_accesses_zero_samples_nothing(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        result = simulator.run(generate_sequential_trace(lines=100), max_accesses=0)
+        assert result.stats.accesses == 0
+
+    def test_max_accesses_zero_after_warmup_samples_nothing(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        result = simulator.run(
+            generate_sequential_trace(lines=100), max_accesses=0, warmup_accesses=50
+        )
+        assert result.stats.accesses == 0
+
+    def test_warmup_respects_max_accesses_for_first_sample(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        result = simulator.run(
+            generate_sequential_trace(lines=100), max_accesses=1, warmup_accesses=10
+        )
+        assert result.stats.accesses == 1
+
+    def test_warmup_consuming_whole_trace_reports_zeros(self, tiny_params):
+        simulator = build_simulator(tiny_params, [NullPrefetcher()])
+        stats = simulator.run(
+            generate_sequential_trace(lines=100), warmup_accesses=100
+        ).stats
+        assert stats.accesses == 0
+        assert stats.cycles == 0.0
+        assert stats.dram_accesses == 0
+
     def test_level_hit_accounting_sums_to_accesses(self, tiny_params):
         simulator = build_simulator(tiny_params, [NullPrefetcher()])
         stats = simulator.run(generate_pointer_chase_trace(nodes=64, repeats=4)).stats

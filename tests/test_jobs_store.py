@@ -1,0 +1,189 @@
+"""Tests for run specs (hashing, reconstruction) and the persistent store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.jobs import RunSpec, code_version, execute_spec
+from repro.experiments.runner import ExperimentRunner, clear_caches
+from repro.experiments.store import ResultStore, default_store
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimulationStats
+
+
+def make_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        workload="xalan",
+        configuration="triage",
+        system=SystemConfig.scaled(),
+        trace_overrides={"length": 2000, "seed": 7},
+        warmup_fraction=0.3,
+        max_accesses=500,
+    )
+    defaults.update(overrides)
+    return RunSpec.create(**defaults)
+
+
+class TestRunSpec:
+    def test_identical_specs_are_equal_and_hash_equal(self):
+        first, second = make_spec(), make_spec()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first.content_hash() == second.content_hash()
+
+    def test_specs_are_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_spec().workload = "mcf"
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "mcf"},
+            {"configuration": "triangel"},
+            {"trace_overrides": {"length": 2001, "seed": 7}},
+            {"warmup_fraction": 0.4},
+            {"max_accesses": 501},
+            {"max_accesses": None},
+        ],
+    )
+    def test_any_field_change_misses(self, change):
+        assert make_spec().content_hash() != make_spec(**change).content_hash()
+
+    def test_system_parameter_change_misses(self):
+        other = SystemConfig.scaled()
+        other.bloom_window = 123
+        assert make_spec().content_hash() != make_spec(system=other).content_hash()
+
+    def test_trace_override_ordering_is_canonical(self):
+        forward = make_spec(trace_overrides={"length": 2000, "seed": 7})
+        backward = make_spec(trace_overrides={"seed": 7, "length": 2000})
+        assert forward == backward
+        assert forward.content_hash() == backward.content_hash()
+
+    def test_system_config_round_trip(self):
+        system = SystemConfig.scaled(2.0)
+        system.training_entries = 96
+        rebuilt = make_spec(system=system).system_config()
+        assert rebuilt == system
+
+    def test_as_dict_is_json_serialisable(self):
+        payload = json.loads(json.dumps(make_spec().as_dict()))
+        assert payload["workload"] == "xalan"
+        assert payload["trace_overrides"] == {"length": 2000, "seed": 7}
+
+    def test_content_hash_salted_by_code_version(self, monkeypatch):
+        from repro.experiments import jobs
+
+        assert code_version() == code_version()  # stable within a process
+        before = make_spec().content_hash()
+        assert len(before) == 64
+        monkeypatch.setattr(jobs, "_code_version_cache", "other-code-version")
+        assert make_spec().content_hash() != before
+
+    def test_execute_spec_runs_from_spec_alone(self):
+        stats = execute_spec(make_spec(max_accesses=300, warmup_fraction=0.2))
+        assert stats.accesses == 300
+        assert stats.workload == "xalan"
+        assert stats.configuration == "triage"
+
+    def test_execute_spec_memoises_traces_per_process(self):
+        from repro.experiments import jobs
+
+        jobs.clear_trace_memo()
+        execute_spec(make_spec(max_accesses=100, warmup_fraction=0.0))
+        assert len(jobs._TRACE_MEMO) == 1
+        trace = next(iter(jobs._TRACE_MEMO.values()))
+        # A second configuration over the same workload reuses the trace.
+        execute_spec(
+            make_spec(
+                configuration="baseline", max_accesses=100, warmup_fraction=0.0
+            )
+        )
+        assert next(iter(jobs._TRACE_MEMO.values())) is trace
+        assert len(jobs._TRACE_MEMO) == 1
+
+
+class TestResultStore:
+    def test_round_trip_preserves_every_counter(self, tmp_path):
+        spec = make_spec()
+        stats = execute_spec(spec)
+        ResultStore(tmp_path).put(spec, stats)
+        # A fresh instance re-reads from disk (a fresh process, in effect).
+        loaded = ResultStore(tmp_path).get(spec)
+        assert loaded == stats
+        assert loaded is not stats
+
+    def test_get_returns_same_object_within_process(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        stats = SimulationStats(workload="xalan", accesses=5)
+        store.put(spec, stats)
+        assert store.get(spec) is store.get(spec)
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        assert store.get(spec) is None
+        store.put(spec, SimulationStats(accesses=1))
+        store.get(spec)
+        info = store.stats()
+        assert (info.hits, info.misses, info.puts, info.entries) == (1, 1, 1, 1)
+
+    def test_invalidate_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec, other = make_spec(), make_spec(workload="mcf")
+        store.put(spec, SimulationStats(accesses=1))
+        store.put(other, SimulationStats(accesses=2))
+        assert store.invalidate(spec)
+        assert not store.invalidate(spec)
+        # Tombstones survive a reload.
+        reloaded = ResultStore(tmp_path)
+        assert spec not in reloaded and other in reloaded
+        assert reloaded.clear() == 1
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ResultStore(blocker / "cache")  # mkdir will fail: parent is a file
+        spec = make_spec()
+        store.put(spec, SimulationStats(accesses=4))  # must not raise
+        assert store.get(spec).accesses == 4  # in-memory index still works
+        assert ResultStore(blocker / "cache").get(spec) is None  # nothing on disk
+
+    def test_stale_code_version_records_are_skipped_on_load(self, tmp_path, monkeypatch):
+        from repro.experiments import jobs
+
+        store = ResultStore(tmp_path)
+        store.put(make_spec(), SimulationStats(accesses=7))
+        assert len(ResultStore(tmp_path)) == 1
+        monkeypatch.setattr(jobs, "_code_version_cache", "other-code-version")
+        # A fresh load under a new code version prunes the unreachable record.
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        store.put(spec, SimulationStats(accesses=9))
+        with store.results_path.open("a") as handle:
+            handle.write("{not json\n")
+        assert ResultStore(tmp_path).get(spec).accesses == 9
+
+    def test_clear_caches_clears_persistent_default_store(self):
+        spec = make_spec()
+        default_store().put(spec, SimulationStats(accesses=3))
+        assert default_store().results_path.exists()
+        clear_caches()
+        assert len(default_store()) == 0
+        assert not default_store().results_path.exists()
+
+    def test_runner_persists_into_default_store(self):
+        clear_caches()
+        runner = ExperimentRunner(
+            max_accesses=400, trace_overrides={"length": 800}, warmup_fraction=0.2
+        )
+        runner.run("xalan", "baseline")
+        store = default_store()
+        assert len(store) == 1
+        assert runner.spec_for("xalan", "baseline") in store

@@ -1,0 +1,136 @@
+"""Tests for the batch executor: dedupe, parallel determinism, persistence."""
+
+from repro.experiments.jobs import RunSpec
+from repro.experiments.parallel import BatchExecutor
+from repro.experiments.runner import ExperimentRunner, clear_caches
+from repro.experiments.store import ResultStore
+
+WORKLOADS = ["xalan", "omnet", "mcf"]
+SERIES = ["baseline", "triage", "triangel"]
+
+
+def quick_runner(**overrides) -> ExperimentRunner:
+    defaults = dict(
+        max_accesses=600,
+        trace_overrides={"length": 1200},
+        warmup_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return ExperimentRunner(**defaults)
+
+
+def spec(runner: ExperimentRunner, workload: str, configuration: str) -> RunSpec:
+    return runner.spec_for(workload, configuration)
+
+
+class TestBatchExecutor:
+    def test_batch_dedupes_specs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        one = spec(runner, "xalan", "baseline")
+        results = BatchExecutor(store=store, jobs=1).run([one, one, one])
+        assert len(results) == 1
+        assert store.puts == 1
+
+    def test_store_satisfies_second_batch(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        batch = [spec(runner, w, "baseline") for w in WORKLOADS]
+        executor = BatchExecutor(store=store, jobs=1)
+        executor.run(batch)
+        puts_after_first = store.puts
+        executor.run(batch)
+        assert store.puts == puts_after_first  # nothing re-ran
+        assert store.hits >= len(batch)
+
+    def test_no_store_executes_everything(self):
+        runner = quick_runner(use_cache=False)
+        results = BatchExecutor(store=None, jobs=1).run(
+            [spec(runner, "xalan", "baseline")]
+        )
+        assert next(iter(results.values())).accesses == 600
+
+
+class TestParallelDeterminism:
+    def test_parallel_matrix_matches_serial(self, tmp_path):
+        """Acceptance: jobs=4 produces identical stats to the serial path."""
+
+        serial = quick_runner(store=ResultStore(tmp_path / "serial"), jobs=1)
+        parallel = quick_runner(store=ResultStore(tmp_path / "parallel"), jobs=4)
+        expected = serial.run_matrix(WORKLOADS, SERIES)
+        actual = parallel.run_matrix(WORKLOADS, SERIES)
+        for workload in WORKLOADS:
+            for configuration in SERIES:
+                assert (
+                    actual[workload][configuration]
+                    == expected[workload][configuration]
+                ), (workload, configuration)
+
+    def test_parallel_normalized_matrix_matches_serial(self, tmp_path):
+        serial = quick_runner(store=ResultStore(tmp_path / "serial"), jobs=1)
+        parallel = quick_runner(store=ResultStore(tmp_path / "parallel"), jobs=2)
+        assert parallel.normalized_matrix(
+            WORKLOADS[:2], ["triage"], "speedup"
+        ) == serial.normalized_matrix(WORKLOADS[:2], ["triage"], "speedup")
+
+
+class TestPersistenceAcrossProcesses:
+    def test_fresh_store_instance_skips_completed_runs(self, tmp_path):
+        """Acceptance: a second invocation reuses the on-disk store.
+
+        A brand-new ResultStore instance re-reads everything from disk, which
+        is exactly what a fresh benchmark/CLI process does.
+        """
+
+        first = quick_runner(store=ResultStore(tmp_path))
+        first.run_matrix(WORKLOADS, SERIES)
+
+        fresh_store = ResultStore(tmp_path)  # fresh process, in effect
+        second = quick_runner(store=fresh_store)
+        table = second.run_matrix(WORKLOADS, SERIES)
+        assert fresh_store.hits == len(WORKLOADS) * len(SERIES)
+        assert fresh_store.misses == 0
+        assert fresh_store.puts == 0
+        assert table["xalan"]["triangel"].accesses == 600
+
+    def test_runner_uses_default_store_across_instances(self):
+        clear_caches()
+        quick_runner().run("xalan", "baseline")
+        other = quick_runner()  # new runner, same process-wide store
+        stats = other.run("xalan", "baseline")
+        assert stats.accesses == 600
+
+
+class TestExtraFactoriesStayInProcess:
+    def test_extra_factory_runs_are_not_persisted(self, tmp_path):
+        from repro.experiments.configs import make_triage
+
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        factory = lambda system: make_triage(system, degree=2)  # noqa: E731
+        runner.run("xalan", "custom-deg2", extra_factory=factory)
+        assert len(store) == 0  # call-time factories have no stable identity
+
+    def test_extra_factory_runs_are_memoised_in_process(self):
+        from repro.experiments.configs import make_triage
+
+        clear_caches()
+        runner = quick_runner()
+        factory = lambda system: make_triage(system, degree=2)  # noqa: E731
+        first = runner.run("xalan", "custom-deg2", extra_factory=factory)
+        second = runner.run("xalan", "custom-deg2", extra_factory=factory)
+        assert first is second
+
+    def test_same_name_different_factories_do_not_share_results(self):
+        """Two call-time factories under one display name must not collide."""
+
+        from repro.experiments.configs import make_triage
+
+        clear_caches()
+        runner = quick_runner()
+        deg1 = lambda system: make_triage(system, degree=1)  # noqa: E731
+        deg4 = lambda system: make_triage(system, degree=4)  # noqa: E731
+        first = runner.run("xalan", "study", extra_factory=deg1)
+        second = runner.run("xalan", "study", extra_factory=deg4)
+        assert first is not second
+        assert first != second  # degree 1 vs 4 differ (e.g. Markov accesses)
