@@ -6,9 +6,11 @@ shared *across* sessions (``.repro_cache/benchmarks`` at the repository
 root, overridable with ``REPRO_CACHE_DIR``).  Figures 10-15 all plot the
 same underlying (workload × configuration) runs, so the first module to
 execute pays for the simulations and the rest replay them from the store —
-and because the store is persistent and keyed by spec hash + code version,
-a *re-run* of the harness in a fresh process skips completed simulations
-entirely until the simulator's sources change.
+and because *every* simulation flows through the store (figure 16's
+multiprogrammed pairs and the parameterised replacement study included,
+each keyed by spec hash + code version), a *re-run* of the harness in a
+fresh process re-executes **zero** simulations until the simulator's
+sources change.
 
 Set ``REPRO_JOBS=N`` to run store misses in N worker processes, and
 ``REPRO_PREWARM=1`` to batch-submit the full figure 10-15 matrix before any

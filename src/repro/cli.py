@@ -14,6 +14,9 @@ Four subcommands cover the common workflows without writing any Python:
 ``cache``
     Inspect (``show``) or empty (``clear``) the persistent result store
     that ``run`` and ``figure`` read and write under ``.repro_cache/``.
+    ``show`` breaks the entries down by record kind (plain single-core
+    runs, parameterised runs such as the replacement study, and
+    multiprogram runs) and lists the latter two individually.
 
 ``run`` and ``figure`` accept ``--jobs N`` to execute simulation matrices in
 N worker processes, and ``--cache-dir`` to relocate the result store (the
@@ -35,6 +38,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import Callable, Sequence
 
 from repro.experiments import figures
@@ -208,31 +213,53 @@ def _command_figure(args: argparse.Namespace) -> str:
 
 
 def _command_cache(args: argparse.Namespace) -> str:
+    """Implement ``repro cache show|clear``: inspect or empty the store."""
+
     store = _store_for(args)
     if args.action == "clear":
         dropped = store.clear()
         return f"cleared {dropped} cached result(s) from {store.directory}"
     info = store.stats()
     size = store.results_path.stat().st_size if store.results_path.exists() else 0
-    return "\n".join(
-        [
-            f"store:   {info.path}",
-            f"entries: {info.entries}",
-            f"size:    {size} bytes",
-        ]
-    )
+    lines = [
+        f"store:   {info.path}",
+        f"entries: {info.entries}",
+        f"size:    {size} bytes",
+    ]
+    records = store.records()
+    labels: dict[str, list[str]] = {}
+    counts: dict[str, int] = {}
+    for meta in records:
+        counts[meta["kind"]] = counts.get(meta["kind"], 0) + 1
+        if meta["label"] is not None:
+            labels.setdefault(meta["kind"], []).append(meta["label"])
+    for kind in ("run", "parameterised run", "multiprogram"):
+        if kind in counts:
+            lines.append(f"  {kind + ' records:':<26} {counts[kind]}")
+            for label in sorted(labels.get(kind, [])):
+                lines.append(f"    {label}")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        print(_command_list())
-    elif args.command == "run":
-        print(_command_run(args))
-    elif args.command == "figure":
-        print(_command_figure(args))
-    elif args.command == "cache":
-        print(_command_cache(args))
+    try:
+        if args.command == "list":
+            print(_command_list())
+        elif args.command == "run":
+            print(_command_run(args))
+        elif args.command == "figure":
+            print(_command_figure(args))
+        elif args.command == "cache":
+            print(_command_cache(args))
+    except BrokenPipeError:  # e.g. `repro cache show | head`
+        # The reader went away mid-write.  Point stdout at devnull so the
+        # interpreter's shutdown flush doesn't re-raise and dirty the exit
+        # status with "Exception ignored" noise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return 0
 
 

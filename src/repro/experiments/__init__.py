@@ -1,21 +1,32 @@
 """Experiment harness: specs, the batch executor, the result store, and figures.
 
-Execution is layered: a :class:`~repro.experiments.jobs.RunSpec` describes
-one simulation, the :class:`~repro.experiments.parallel.BatchExecutor` runs
-deduplicated batches of specs (optionally in worker processes), and the
-:class:`~repro.experiments.store.ResultStore` persists completed runs across
-processes.  :class:`~repro.experiments.runner.ExperimentRunner` is the
-high-level interface the figures and CLI use.
+Execution is layered: an immutable spec — a
+:class:`~repro.experiments.jobs.RunSpec` for single-core cells, a
+:class:`~repro.experiments.jobs.MultiProgramSpec` for multiprogrammed pairs
+— describes one simulation, the
+:class:`~repro.experiments.parallel.BatchExecutor` runs deduplicated,
+freely-mixed batches of specs (optionally in worker processes), and the
+:class:`~repro.experiments.store.ResultStore` persists completed runs of
+both kinds across processes.
+:class:`~repro.experiments.runner.ExperimentRunner` is the high-level
+interface the figures and CLI use.
 """
 
 from repro.experiments.configs import (
     ABLATION_LADDER,
     EVALUATION_CONFIGS,
     METADATA_FORMAT_CONFIGS,
+    PARAMETERISED_CONFIGS,
     available_configurations,
     build_prefetchers,
 )
-from repro.experiments.jobs import RunSpec, execute_spec
+from repro.experiments.jobs import (
+    MultiProgramSpec,
+    RunSpec,
+    execute,
+    execute_multiprogram_spec,
+    execute_spec,
+)
 from repro.experiments.parallel import BatchExecutor
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import ResultStore, default_store, set_default_store
@@ -25,13 +36,17 @@ __all__ = [
     "ABLATION_LADDER",
     "EVALUATION_CONFIGS",
     "METADATA_FORMAT_CONFIGS",
+    "PARAMETERISED_CONFIGS",
     "available_configurations",
     "build_prefetchers",
     "BatchExecutor",
     "ExperimentRunner",
+    "MultiProgramSpec",
     "ResultStore",
     "RunSpec",
     "default_store",
+    "execute",
+    "execute_multiprogram_spec",
     "execute_spec",
     "set_default_store",
     "figures",

@@ -23,7 +23,7 @@ that system.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Mapping
 
 from repro.core.config import TriangelConfig
 from repro.core.triangel import TriangelPrefetcher
@@ -74,10 +74,14 @@ def _triangel_config(system: SystemConfig, **overrides) -> TriangelConfig:
 
 
 def make_triage(system: SystemConfig, **overrides) -> list[Prefetcher]:
+    """Stride + Triage stack, with ``overrides`` applied to the TriageConfig."""
+
     return [_stride(system), TriagePrefetcher(_triage_config(system, **overrides))]
 
 
 def make_triangel(system: SystemConfig, **overrides) -> list[Prefetcher]:
+    """Stride + Triangel stack, with ``overrides`` applied to the TriangelConfig."""
+
     name = overrides.pop("display_name", "triangel")
     return [
         _stride(system),
@@ -213,25 +217,54 @@ ABLATION_LADDER: dict[str, ConfigFactory] = {
 # ---------------------------------------------------------------------------
 # Section 3.3: Markov replacement study under constrained capacity
 # ---------------------------------------------------------------------------
-def replacement_study_configs(max_entries: int | None = 1024) -> dict[str, ConfigFactory]:
-    """Triage with LRU / SRRIP / HawkEye Markov replacement.
+REPLACEMENT_POLICIES: tuple[str, ...] = ("lru", "srrip", "hawkeye")
 
-    ``max_entries`` caps the Markov occupancy, reproducing the paper's
-    observation that replacement policy only matters once capacity is
-    artificially constrained (footnote 4).
-    """
 
-    def factory(policy: str) -> ConfigFactory:
-        return lambda system: make_triage(
+def _replacement_builder(policy: str):
+    """A parameterised builder for Triage under one Markov replacement policy."""
+
+    def build(system: SystemConfig, max_entries: int | None = 1024) -> list[Prefetcher]:
+        """Triage with this policy, Markov occupancy capped at ``max_entries``."""
+
+        return make_triage(
             system,
             degree=1,
             markov_replacement=policy,
             max_entries_override=max_entries,
         )
 
-    return {
-        f"triage-{policy}": factory(policy) for policy in ("lru", "srrip", "hawkeye")
-    }
+    return build
+
+
+#: Configurations whose prefetcher stack depends on call-time parameters.
+#: Unlike :data:`ALL_CONFIGS` factories (``name`` alone identifies the
+#: stack), these builders take keyword parameters; the parameters travel in
+#: :attr:`~repro.experiments.jobs.RunSpec.config_params`, so they are part
+#: of the store key and are available to rebuild the stack in pool workers.
+PARAMETERISED_CONFIGS: dict[str, Callable[..., list[Prefetcher]]] = {
+    f"triage-{policy}": _replacement_builder(policy) for policy in REPLACEMENT_POLICIES
+}
+
+
+def replacement_study_configs(max_entries: int | None = 1024) -> dict[str, ConfigFactory]:
+    """Triage with LRU / SRRIP / HawkEye Markov replacement.
+
+    ``max_entries`` caps the Markov occupancy, reproducing the paper's
+    observation that replacement policy only matters once capacity is
+    artificially constrained (footnote 4).
+
+    This is the closed-over-factory form kept for ``extra_factories``
+    callers; the figure harness itself now runs the study through
+    :data:`PARAMETERISED_CONFIGS` so results persist in the store.
+    """
+
+    def factory(policy: str) -> ConfigFactory:
+        """Close the parameterised builder over this study's ``max_entries``."""
+
+        builder = PARAMETERISED_CONFIGS[f"triage-{policy}"]
+        return lambda system: builder(system, max_entries=max_entries)
+
+    return {f"triage-{policy}": factory(policy) for policy in REPLACEMENT_POLICIES}
 
 
 # ---------------------------------------------------------------------------
@@ -245,16 +278,32 @@ ALL_CONFIGS: dict[str, ConfigFactory] = {
 
 
 def available_configurations() -> list[str]:
+    """Every registry configuration name, sorted (parameterised excluded)."""
+
     return sorted(ALL_CONFIGS)
 
 
-def build_prefetchers(name: str, system: SystemConfig) -> list[Prefetcher]:
-    """Build the prefetcher stack for a named configuration."""
+def build_prefetchers(
+    name: str, system: SystemConfig, params: Mapping | None = None
+) -> list[Prefetcher]:
+    """Build the prefetcher stack for a named configuration.
 
-    try:
-        factory = ALL_CONFIGS[name]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown configuration {name!r}; available: {available_configurations()}"
-        ) from exc
-    return factory(system)
+    Plain registry configurations (:data:`ALL_CONFIGS`) take no parameters;
+    parameterised ones (:data:`PARAMETERISED_CONFIGS`) receive ``params`` as
+    keyword arguments.  This is the single resolution point both the serial
+    path and pool workers use, so a spec's ``(configuration, config_params)``
+    pair always rebuilds the same stack everywhere.
+    """
+
+    factory = ALL_CONFIGS.get(name)
+    if factory is not None:
+        if params:
+            raise ValueError(f"configuration {name!r} takes no parameters")
+        return factory(system)
+    builder = PARAMETERISED_CONFIGS.get(name)
+    if builder is not None:
+        return builder(system, **dict(params or {}))
+    raise ValueError(
+        f"unknown configuration {name!r}; available: "
+        f"{available_configurations() + sorted(PARAMETERISED_CONFIGS)}"
+    )

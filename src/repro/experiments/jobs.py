@@ -1,17 +1,26 @@
 """Immutable run specifications: the unit of work of the experiment layer.
 
-A :class:`RunSpec` fully describes one simulation — workload, configuration
-name, the complete system parameters, trace overrides, warm-up fraction and
-access cap — as a frozen, hashable value.  It replaces the ad-hoc tuple keys
-the runner used to build for its module-global caches, and it is the only
+Two spec types cover every simulation in the repository:
+
+* a :class:`RunSpec` fully describes one single-core simulation — workload,
+  configuration name, call-time configuration parameters, the complete
+  system parameters, trace overrides, warm-up fraction and access cap;
+* a :class:`MultiProgramSpec` describes one multiprogrammed run — the
+  per-core workloads, the configuration every core runs, and the
+  metadata-sharing flag — over the same system/trace/warm-up fields.
+
+Both are frozen, hashable values.  They replace the ad-hoc tuple keys the
+runner used to build for its module-global caches, and they are the only
 thing that crosses a process boundary when runs execute in parallel: a
 worker rebuilds the trace, hierarchy and prefetcher stack from the spec, so
-nothing unpicklable (caches, simulators, factories) ever has to.
+nothing unpicklable (caches, simulators, factories) ever has to.  The
+:func:`execute` dispatcher turns either spec kind into its result.
 
-The spec's :meth:`RunSpec.content_hash` keys the persistent result store
+Each spec's ``content_hash`` keys the persistent result store
 (:mod:`repro.experiments.store`).  It hashes the canonical JSON form of
-every field plus a code-version salt derived from the simulator sources, so
-results cached by one version of the code are never replayed by another.
+every field (including a ``kind`` discriminator, so the two spec types can
+never collide) plus a code-version salt derived from the simulator sources,
+so results cached by one version of the code are never replayed by another.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.sim.config import SystemConfig, TimingParams
 from repro.memory.hierarchy import HierarchyParams
@@ -89,41 +98,8 @@ def _thaw(value):
     return value
 
 
-@dataclass(frozen=True)
-class RunSpec:
-    """Everything needed to (re)run one (workload × configuration) cell.
-
-    Instances are created through :meth:`RunSpec.create`, which canonicalises
-    the mutable inputs (the system config becomes a frozen parameter tree,
-    trace overrides a key-sorted tuple) so that equal simulations compare and
-    hash equal no matter how their inputs were spelled.
-    """
-
-    workload: str
-    configuration: str
-    system: tuple
-    trace_overrides: tuple
-    warmup_fraction: float = 0.4
-    max_accesses: int | None = None
-
-    @classmethod
-    def create(
-        cls,
-        workload: str,
-        configuration: str,
-        system: SystemConfig,
-        trace_overrides: Mapping | None = None,
-        warmup_fraction: float = 0.4,
-        max_accesses: int | None = None,
-    ) -> "RunSpec":
-        return cls(
-            workload=workload,
-            configuration=configuration,
-            system=_freeze(asdict(system)),
-            trace_overrides=_freeze(dict(trace_overrides or {})),
-            warmup_fraction=warmup_fraction,
-            max_accesses=max_accesses,
-        )
+class _SpecBase:
+    """Behaviour shared by both spec kinds: reconstruction and identity."""
 
     # -- reconstruction -----------------------------------------------------
     def system_config(self) -> SystemConfig:
@@ -135,27 +111,148 @@ class RunSpec:
         return SystemConfig(hierarchy=hierarchy, timing=timing, **data)
 
     def trace_overrides_dict(self) -> dict:
+        """The trace-generation overrides as a plain dictionary."""
+
         return _thaw(self.trace_overrides) or {}
 
     # -- identity -----------------------------------------------------------
-    def as_dict(self) -> dict:
-        """JSON-serialisable canonical form (also stored alongside results)."""
-
-        return {
-            "workload": self.workload,
-            "configuration": self.configuration,
-            "system": _thaw(self.system),
-            "trace_overrides": self.trace_overrides_dict(),
-            "warmup_fraction": self.warmup_fraction,
-            "max_accesses": self.max_accesses,
-        }
-
     def content_hash(self) -> str:
         """Hex digest keying the persistent store (salted by code version)."""
 
         canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(f"{code_version()}|{canonical}".encode())
         return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec(_SpecBase):
+    """Everything needed to (re)run one (workload × configuration) cell.
+
+    Instances are created through :meth:`RunSpec.create`, which canonicalises
+    the mutable inputs (the system config becomes a frozen parameter tree,
+    trace overrides and configuration parameters key-sorted tuples) so that
+    equal simulations compare and hash equal no matter how their inputs were
+    spelled.
+
+    ``config_params`` carries the call-time parameters of a *parameterised*
+    configuration (e.g. the replacement study's ``max_entries`` cap).  They
+    are part of the spec's identity, so two variants of the same study can
+    never collide in the store, and a worker process can rebuild the exact
+    prefetcher stack from the spec alone (see
+    :data:`repro.experiments.configs.PARAMETERISED_CONFIGS`).
+    """
+
+    workload: str
+    configuration: str
+    system: tuple
+    trace_overrides: tuple
+    warmup_fraction: float = 0.4
+    max_accesses: int | None = None
+    config_params: tuple = ()
+
+    @classmethod
+    def create(
+        cls,
+        workload: str,
+        configuration: str,
+        system: SystemConfig,
+        trace_overrides: Mapping | None = None,
+        warmup_fraction: float = 0.4,
+        max_accesses: int | None = None,
+        config_params: Mapping | None = None,
+    ) -> "RunSpec":
+        """Build a canonical spec from mutable inputs (see class docs)."""
+
+        return cls(
+            workload=workload,
+            configuration=configuration,
+            system=_freeze(asdict(system)),
+            trace_overrides=_freeze(dict(trace_overrides or {})),
+            warmup_fraction=warmup_fraction,
+            max_accesses=max_accesses,
+            config_params=_freeze(dict(config_params or {})),
+        )
+
+    def config_params_dict(self) -> dict:
+        """The call-time configuration parameters as a plain dictionary."""
+
+        return _thaw(self.config_params) or {}
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable canonical form (also stored alongside results)."""
+
+        return {
+            "kind": "run",
+            "workload": self.workload,
+            "configuration": self.configuration,
+            "config_params": self.config_params_dict(),
+            "system": _thaw(self.system),
+            "trace_overrides": self.trace_overrides_dict(),
+            "warmup_fraction": self.warmup_fraction,
+            "max_accesses": self.max_accesses,
+        }
+
+
+@dataclass(frozen=True)
+class MultiProgramSpec(_SpecBase):
+    """Everything needed to (re)run one multiprogrammed (pair × config) cell.
+
+    ``workloads`` lists the per-core traces in core order (order matters:
+    core 0's workload is not interchangeable with core 1's), all cores run
+    the same named ``configuration``, and ``share_metadata`` records whether
+    the cores' temporal prefetchers unify their Markov partition and sizing
+    state (the paper's figure 16 setup; see
+    :func:`repro.sim.multiprogram.share_temporal_metadata`).
+
+    Like :class:`RunSpec`, the ``max_accesses_per_core`` cap — figure 16's
+    call-time parameter — is part of the hash, so truncated and full runs
+    occupy distinct store entries.
+    """
+
+    workloads: tuple
+    configuration: str
+    system: tuple
+    trace_overrides: tuple
+    warmup_fraction: float = 0.4
+    max_accesses_per_core: int | None = None
+    share_metadata: bool = True
+
+    @classmethod
+    def create(
+        cls,
+        workloads: Sequence[str],
+        configuration: str,
+        system: SystemConfig,
+        trace_overrides: Mapping | None = None,
+        warmup_fraction: float = 0.4,
+        max_accesses_per_core: int | None = None,
+        share_metadata: bool = True,
+    ) -> "MultiProgramSpec":
+        """Build a canonical multiprogram spec from mutable inputs."""
+
+        return cls(
+            workloads=tuple(workloads),
+            configuration=configuration,
+            system=_freeze(asdict(system)),
+            trace_overrides=_freeze(dict(trace_overrides or {})),
+            warmup_fraction=warmup_fraction,
+            max_accesses_per_core=max_accesses_per_core,
+            share_metadata=share_metadata,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable canonical form (also stored alongside results)."""
+
+        return {
+            "kind": "multiprogram",
+            "workloads": list(self.workloads),
+            "configuration": self.configuration,
+            "system": _thaw(self.system),
+            "trace_overrides": self.trace_overrides_dict(),
+            "warmup_fraction": self.warmup_fraction,
+            "max_accesses_per_core": self.max_accesses_per_core,
+            "share_metadata": self.share_metadata,
+        }
 
 
 # Traces are regenerated deterministically, so each process (the parent's
@@ -183,6 +280,8 @@ def _trace_for_spec(spec: "RunSpec"):
 
 
 def clear_trace_memo() -> None:
+    """Drop every memoised trace (tests and cache-clearing paths)."""
+
     _TRACE_MEMO.clear()
 
 
@@ -212,7 +311,9 @@ def execute_spec(spec: RunSpec, trace=None, factory=None) -> SimulationStats:
     if factory is not None:
         prefetchers = factory(system)
     else:
-        prefetchers = build_prefetchers(spec.configuration, system)
+        prefetchers = build_prefetchers(
+            spec.configuration, system, params=spec.config_params_dict() or None
+        )
     simulator = Simulator(
         system.build_hierarchy(),
         prefetchers,
@@ -228,3 +329,45 @@ def execute_spec(spec: RunSpec, trace=None, factory=None) -> SimulationStats:
         warmup_accesses=warmup,
     )
     return result.stats
+
+
+def execute_multiprogram_spec(spec: MultiProgramSpec):
+    """Run the multiprogrammed simulation a spec describes.
+
+    The multiprogram analogue of :func:`execute_spec`: traces, the shared
+    L3/DRAM hierarchy and every core's prefetcher stack are rebuilt from the
+    spec alone, so the spec can execute in a pool worker exactly as it does
+    in-process.  Returns a
+    :class:`~repro.sim.multiprogram.MultiProgramResult`.
+    """
+
+    from repro.experiments.configs import build_prefetchers
+    from repro.sim.multiprogram import MultiProgramSimulator
+
+    system = spec.system_config()
+    overrides = spec.trace_overrides_dict()
+    traces = [trace_for_workload(workload, overrides) for workload in spec.workloads]
+    simulator = MultiProgramSimulator(
+        system,
+        prefetcher_factory=lambda: build_prefetchers(spec.configuration, system),
+        num_cores=len(spec.workloads),
+        configuration_name=spec.configuration,
+        share_metadata=spec.share_metadata,
+    )
+    shortest = min(len(trace) for trace in traces)
+    cap = spec.max_accesses_per_core
+    warmup = int((cap if cap is not None else shortest) * spec.warmup_fraction)
+    return simulator.run(
+        traces,
+        workload_names=list(spec.workloads),
+        max_accesses_per_core=cap,
+        warmup_accesses_per_core=warmup,
+    )
+
+
+def execute(spec):
+    """Run any spec kind (the batch executor's single worker entry point)."""
+
+    if isinstance(spec, MultiProgramSpec):
+        return execute_multiprogram_spec(spec)
+    return execute_spec(spec)

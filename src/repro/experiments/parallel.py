@@ -1,22 +1,24 @@
 """Batch execution of run specs: dedupe, check the store, fan out, write back.
 
 The :class:`BatchExecutor` is the middle layer between the experiment runner
-(and the figure harness) and the simulator: callers declare every
-(workload × configuration) cell they need as a list of
-:class:`~repro.experiments.jobs.RunSpec` and submit the whole batch at once.
-The executor
+(and the figure harness) and the simulator: callers declare every simulation
+they need — single-core (workload × configuration) cells as
+:class:`~repro.experiments.jobs.RunSpec` and multiprogrammed pairs as
+:class:`~repro.experiments.jobs.MultiProgramSpec` — and submit the whole
+batch, freely mixed, at once.  The executor
 
 1. deduplicates the batch (figures share most of their cells),
 2. satisfies what it can from the :class:`~repro.experiments.store.
-   ResultStore`,
+   ResultStore` (which round-trips both result kinds),
 3. runs the misses — in-process when ``jobs == 1``, otherwise on a
-   ``ProcessPoolExecutor`` whose workers rebuild everything from the picked
-   spec (see :func:`~repro.experiments.jobs.execute_spec`), and
+   ``ProcessPoolExecutor`` whose workers rebuild everything from the pickled
+   spec (see :func:`~repro.experiments.jobs.execute`, which dispatches on
+   the spec kind), and
 4. writes fresh results back to the store so later batches, processes and
    benchmark sessions skip them.
 
 Results are deterministic regardless of ``jobs``: every simulation is
-independent and seeded, and ``pool.map`` preserves submission order.
+independent and seeded, so where a spec executes cannot change its result.
 """
 
 from __future__ import annotations
@@ -25,9 +27,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.jobs import RunSpec, execute_spec
-from repro.experiments.store import ResultStore
-from repro.sim.stats import SimulationStats
+from repro.experiments.jobs import execute
+from repro.experiments.store import Result, ResultStore, Spec
 
 
 @dataclass
@@ -43,12 +44,18 @@ class BatchExecutor:
     store: ResultStore | None = None
     jobs: int = 1
 
-    def run(self, specs: Sequence[RunSpec]) -> dict[RunSpec, SimulationStats]:
-        """Execute a batch; returns a spec → stats mapping for unique specs."""
+    def run(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
+        """Execute a batch; returns a spec → result mapping for unique specs.
+
+        ``specs`` may mix :class:`~repro.experiments.jobs.RunSpec` and
+        :class:`~repro.experiments.jobs.MultiProgramSpec` entries; each maps
+        to its own result type (:class:`~repro.sim.stats.SimulationStats`
+        and :class:`~repro.sim.multiprogram.MultiProgramResult`).
+        """
 
         unique = list(dict.fromkeys(specs))
-        results: dict[RunSpec, SimulationStats] = {}
-        misses: list[RunSpec] = []
+        results: dict[Spec, Result] = {}
+        misses: list[Spec] = []
         for spec in unique:
             cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
@@ -58,18 +65,20 @@ class BatchExecutor:
 
         # Results are persisted as they arrive, so an interrupt or a failing
         # cell loses only the work still in flight, never completed runs.
-        def complete(spec: RunSpec, stats: SimulationStats) -> None:
-            results[spec] = stats
+        def complete(spec: Spec, result: Result) -> None:
+            """Record one finished run and persist it immediately."""
+
+            results[spec] = result
             if self.store is not None:
-                self.store.put(spec, stats)
+                self.store.put(spec, result)
 
         if self.jobs > 1 and len(misses) > 1:
             workers = min(self.jobs, len(misses))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute_spec, spec): spec for spec in misses}
+                futures = {pool.submit(execute, spec): spec for spec in misses}
                 for future in as_completed(futures):
                     complete(futures[future], future.result())
         else:
             for spec in misses:
-                complete(spec, execute_spec(spec))
+                complete(spec, execute(spec))
         return results

@@ -2,25 +2,33 @@
 
 Execution flows through three layers (spec → executor → store):
 
-* every cell is first described as an immutable
-  :class:`~repro.experiments.jobs.RunSpec` (workload, configuration, full
-  system parameters, trace overrides, warm-up, access cap);
-* :meth:`ExperimentRunner.run_matrix` submits the whole matrix as one batch
-  to a :class:`~repro.experiments.parallel.BatchExecutor`, which dedupes
-  specs, satisfies what it can from the store, and runs the misses — in
-  parallel worker processes when ``jobs > 1``;
+* every simulation is first described as an immutable spec — single-core
+  cells as a :class:`~repro.experiments.jobs.RunSpec` (workload,
+  configuration, call-time configuration parameters, full system
+  parameters, trace overrides, warm-up, access cap) and multiprogrammed
+  pairs as a :class:`~repro.experiments.jobs.MultiProgramSpec`;
+* :meth:`ExperimentRunner.run_matrix` (and
+  :meth:`ExperimentRunner.submit`, which also accepts multiprogram specs)
+  submits whole batches to a
+  :class:`~repro.experiments.parallel.BatchExecutor`, which dedupes specs,
+  satisfies what it can from the store, and runs the misses — in parallel
+  worker processes when ``jobs > 1``;
 * completed runs land in the persistent
   :class:`~repro.experiments.store.ResultStore` under ``.repro_cache/``
   (keyed by spec content hash + code-version salt), so figures 10-15 — which
   all plot the same underlying runs — share work, and *later processes*
   (benchmark sessions, CLI invocations) skip completed simulations entirely.
 
-Configurations supplied as call-time ``extra_factories`` (the ablation
-ladder, metadata-format and replacement studies) cannot be rebuilt from a
-spec in a worker process, and their display names alone do not identify
-their parameters, so they run in-process and are memoised for the life of
-the process only.  Traces are memoised per process too, since generation is
-deterministic and cheap relative to simulation.
+Parameterised registry configurations (the replacement study's
+``max_entries`` cap; see
+:data:`~repro.experiments.configs.PARAMETERISED_CONFIGS`) fold their
+call-time parameters into the spec, so their runs persist and parallelise
+like any other.  Only configurations supplied as anonymous call-time
+``extra_factories`` cannot be rebuilt from a spec in a worker process — a
+factory's display name alone does not identify its parameters — so those
+run in-process and are memoised for the life of the process only.  Traces
+are memoised per process too, since generation is deterministic and cheap
+relative to simulation.
 """
 
 from __future__ import annotations
@@ -30,13 +38,22 @@ from typing import Mapping, Sequence
 from weakref import WeakKeyDictionary
 
 from repro.analysis.metrics import add_geomean_row, normalize_against_baseline
-from repro.experiments.configs import ALL_CONFIGS, ConfigFactory
-from repro.experiments.jobs import RunSpec, execute_spec, trace_for_workload
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    PARAMETERISED_CONFIGS,
+    ConfigFactory,
+)
+from repro.experiments.jobs import (
+    MultiProgramSpec,
+    RunSpec,
+    execute_spec,
+    trace_for_workload,
+)
 from repro.experiments.jobs import clear_trace_memo as jobs_clear_trace_memo
 from repro.experiments.parallel import BatchExecutor
-from repro.experiments.store import ResultStore, default_store
+from repro.experiments.store import Result, ResultStore, Spec, default_store
 from repro.sim.config import SystemConfig
-from repro.sim.multiprogram import MultiProgramResult, MultiProgramSimulator
+from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.stats import SimulationStats
 from repro.workloads.registry import generate_workload
 from repro.workloads.trace import Trace
@@ -79,8 +96,18 @@ class ExperimentRunner:
     store: ResultStore | None = None
 
     # -- the spec → executor → store plumbing --------------------------------
-    def spec_for(self, workload: str, configuration: str) -> RunSpec:
-        """The immutable spec describing one cell under this runner."""
+    def spec_for(
+        self,
+        workload: str,
+        configuration: str,
+        config_params: Mapping | None = None,
+    ) -> RunSpec:
+        """The immutable spec describing one single-core cell under this runner.
+
+        ``config_params`` carries the call-time parameters of a
+        parameterised configuration; they become part of the spec's identity
+        (and hence the store key).
+        """
 
         return RunSpec.create(
             workload=workload,
@@ -89,6 +116,28 @@ class ExperimentRunner:
             trace_overrides=self.trace_overrides,
             warmup_fraction=self.warmup_fraction,
             max_accesses=self.max_accesses,
+            config_params=config_params,
+        )
+
+    def multiprogram_spec_for(
+        self,
+        workloads: Sequence[str],
+        configuration: str,
+        max_accesses_per_core: int | None = None,
+        share_metadata: bool = True,
+    ) -> MultiProgramSpec:
+        """The immutable spec describing one multiprogrammed run."""
+
+        if configuration not in ALL_CONFIGS:
+            raise ValueError(f"unknown configuration {configuration!r}")
+        return MultiProgramSpec.create(
+            workloads=workloads,
+            configuration=configuration,
+            system=self.system,
+            trace_overrides=self.trace_overrides,
+            warmup_fraction=self.warmup_fraction,
+            max_accesses_per_core=max_accesses_per_core,
+            share_metadata=share_metadata,
         )
 
     def _store(self) -> ResultStore | None:
@@ -99,13 +148,15 @@ class ExperimentRunner:
     def _executor(self) -> BatchExecutor:
         return BatchExecutor(store=self._store(), jobs=self.jobs)
 
-    def submit(self, specs: Sequence[RunSpec]) -> dict[RunSpec, SimulationStats]:
-        """Batch-run arbitrary specs through the executor and store."""
+    def submit(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
+        """Batch-run arbitrary specs (both kinds) through executor and store."""
 
         return self._executor().run(specs)
 
     # -- traces -------------------------------------------------------------
     def trace_for(self, workload: str) -> Trace:
+        """The (memoised) trace for a workload under this runner's overrides."""
+
         if not self.use_cache:
             return generate_workload(workload, **self.trace_overrides)
         return trace_for_workload(workload, self.trace_overrides)
@@ -116,16 +167,19 @@ class ExperimentRunner:
         workload: str,
         configuration: str,
         extra_factory: ConfigFactory | None = None,
+        config_params: Mapping | None = None,
     ) -> SimulationStats:
         """Run one workload under one configuration and return its stats.
 
-        ``extra_factory`` allows running a configuration that is not in the
-        global registry (used by the ablation and replacement studies, whose
-        configurations are parameterised at call time); such runs stay
-        in-process and are never persisted.
+        ``config_params`` parameterises a
+        :data:`~repro.experiments.configs.PARAMETERISED_CONFIGS` entry; such
+        runs flow through the executor and persist like registry ones.
+        ``extra_factory`` allows running an anonymous call-time factory
+        instead; those runs stay in-process and are never persisted, because
+        a factory cannot be rebuilt from the spec in a worker process.
         """
 
-        spec = self.spec_for(workload, configuration)
+        spec = self.spec_for(workload, configuration, config_params)
         if extra_factory is not None:
             return self._run_extra(spec, extra_factory)
         return self.submit([spec])[spec]
@@ -147,28 +201,34 @@ class ExperimentRunner:
         workloads: Sequence[str],
         configurations: Sequence[str],
         extra_factories: Mapping[str, ConfigFactory] | None = None,
+        config_params: Mapping | None = None,
     ) -> dict[str, dict[str, SimulationStats]]:
         """Run every (workload × configuration) pair; return stats per cell.
 
-        The full matrix of registry configurations is declared up front and
-        submitted as one batch, so the executor can dedupe it, replay
-        completed cells from the store, and run the rest in parallel.
+        The full matrix of registry configurations — plain and parameterised
+        alike — is declared up front and submitted as one batch, so the
+        executor can dedupe it, replay completed cells from the store, and
+        run the rest in parallel.  ``config_params`` applies to every
+        parameterised configuration in ``configurations`` (plain registry
+        configurations ignore it); ``extra_factories`` entries bypass the
+        batch and run in-process.
         """
 
         extra_factories = dict(extra_factories or {})
-        named: list[str] = []
+        cell_specs: dict[tuple[str, str], RunSpec] = {}
         for configuration in configurations:
             if configuration in extra_factories:
                 continue
-            if configuration not in ALL_CONFIGS:
+            if configuration in ALL_CONFIGS:
+                params = None
+            elif configuration in PARAMETERISED_CONFIGS:
+                params = config_params
+            else:
                 raise ValueError(f"unknown configuration {configuration!r}")
-            named.append(configuration)
-
-        cell_specs = {
-            (workload, configuration): self.spec_for(workload, configuration)
-            for workload in workloads
-            for configuration in named
-        }
+            for workload in workloads:
+                cell_specs[(workload, configuration)] = self.spec_for(
+                    workload, configuration, params
+                )
         batch = self._executor().run(list(cell_specs.values()))
 
         results: dict[str, dict[str, SimulationStats]] = {}
@@ -194,13 +254,14 @@ class ExperimentRunner:
         baseline_config: str = "baseline",
         include_geomean: bool = True,
         extra_factories: Mapping[str, ConfigFactory] | None = None,
+        config_params: Mapping | None = None,
     ) -> dict[str, dict[str, float]]:
         """Run the matrix and reduce it to one normalised metric per cell."""
 
         run_configs = list(configurations)
         if baseline_config not in run_configs:
             run_configs = [baseline_config] + run_configs
-        results = self.run_matrix(workloads, run_configs, extra_factories)
+        results = self.run_matrix(workloads, run_configs, extra_factories, config_params)
         table = normalize_against_baseline(results, metric, baseline_config)
         for per_config in table.values():
             per_config.pop(baseline_config, None)
@@ -215,26 +276,14 @@ class ExperimentRunner:
         configuration: str,
         max_accesses_per_core: int | None = None,
     ) -> MultiProgramResult:
-        """Run a workload pair on two cores sharing the L3 and DRAM."""
+        """Run a workload pair on two cores sharing the L3 and DRAM.
 
-        factory = ALL_CONFIGS.get(configuration)
-        if factory is None:
-            raise ValueError(f"unknown configuration {configuration!r}")
-        simulator = MultiProgramSimulator(
-            self.system,
-            prefetcher_factory=lambda: factory(self.system),
-            num_cores=len(pair),
-            configuration_name=configuration,
-        )
-        traces = [self.trace_for(workload) for workload in pair]
-        shortest = min(len(trace) for trace in traces)
-        warmup = int(
-            (max_accesses_per_core if max_accesses_per_core is not None else shortest)
-            * self.warmup_fraction
-        )
-        return simulator.run(
-            traces,
-            workload_names=list(pair),
-            max_accesses_per_core=max_accesses_per_core,
-            warmup_accesses_per_core=warmup,
-        )
+        The run is described by a
+        :class:`~repro.experiments.jobs.MultiProgramSpec` and flows through
+        the executor and persistent store like every other simulation, so a
+        repeated pair (within this process or a later one) replays instead
+        of re-simulating.
+        """
+
+        spec = self.multiprogram_spec_for(pair, configuration, max_accesses_per_core)
+        return self.submit([spec])[spec]

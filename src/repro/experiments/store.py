@@ -2,12 +2,23 @@
 
 The store is a JSON-lines file under a cache directory (``.repro_cache/`` by
 default, overridable with the ``REPRO_CACHE_DIR`` environment variable or
-per-store).  Each record holds a :class:`~repro.experiments.jobs.RunSpec`
-content hash, the spec's canonical form (for inspection), and the raw
-:class:`~repro.sim.stats.SimulationStats` counters.  Because the key hashes
-every spec field *plus* a code-version salt, a store can be shared freely
-between processes, benchmark sessions and CLI invocations: a stale entry can
-never be replayed, it simply stops being found.
+per-store).  Each record holds a spec content hash, the record ``kind``, the
+spec's canonical form (for inspection), and the result payload.  Two record
+kinds exist, one per spec type:
+
+* ``"run"`` — a :class:`~repro.experiments.jobs.RunSpec` keyed record whose
+  payload is the raw :class:`~repro.sim.stats.SimulationStats` counters
+  (parameterised runs such as the replacement study are plain ``"run"``
+  records whose spec carries ``config_params``);
+* ``"multiprogram"`` — a :class:`~repro.experiments.jobs.MultiProgramSpec`
+  keyed record whose payload is a full
+  :class:`~repro.sim.multiprogram.MultiProgramResult` (per-core stats plus
+  per-core prefetcher counters).
+
+Because the key hashes every spec field *plus* a code-version salt, a store
+can be shared freely between processes, benchmark sessions and CLI
+invocations: a stale entry can never be replayed, it simply stops being
+found.
 
 Appends of single JSON lines are atomic enough for the way the store is
 written (the batch executor writes results from the parent process only), and
@@ -23,8 +34,13 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.experiments.jobs import RunSpec, code_version
+from repro.experiments.jobs import MultiProgramSpec, RunSpec, code_version
+from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.stats import SimulationStats
+
+#: Spec/result union types accepted and returned by the store.
+Spec = RunSpec | MultiProgramSpec
+Result = SimulationStats | MultiProgramResult
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -44,7 +60,43 @@ def stats_to_payload(stats: SimulationStats) -> dict:
 
 
 def stats_from_payload(payload: dict) -> SimulationStats:
+    """Rebuild :class:`SimulationStats` from its stored payload."""
+
     return SimulationStats(**payload)
+
+
+def result_to_record(result: Result) -> tuple[str, dict]:
+    """Serialise any result type to its ``(kind, payload)`` record form."""
+
+    if isinstance(result, MultiProgramResult):
+        return "multiprogram", result.as_payload()
+    return "run", stats_to_payload(result)
+
+
+def result_from_record(kind: str, payload: dict) -> Result:
+    """Deserialise a stored ``(kind, payload)`` pair back to a live result."""
+
+    if kind == "multiprogram":
+        return MultiProgramResult.from_payload(payload)
+    return stats_from_payload(payload)
+
+
+def _classify(kind: str, spec: dict) -> dict:
+    """Display kind and listing label for one record (``label`` may be None)."""
+
+    configuration = spec.get("configuration", "?")
+    if kind == "multiprogram":
+        pair = " + ".join(spec.get("workloads", []))
+        return {"kind": "multiprogram", "label": f"{pair} × {configuration}"}
+    if spec.get("config_params"):
+        params = ", ".join(
+            f"{key}={value}" for key, value in sorted(spec["config_params"].items())
+        )
+        return {
+            "kind": "parameterised run",
+            "label": f"{spec.get('workload', '?')} × {configuration} [{params}]",
+        }
+    return {"kind": "run", "label": None}
 
 
 @dataclass
@@ -58,6 +110,8 @@ class StoreStats:
     path: str = ""
 
     def as_dict(self) -> dict:
+        """The counters as a flat dictionary (reports and tests)."""
+
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -69,12 +123,15 @@ class StoreStats:
 
 @dataclass
 class ResultStore:
-    """On-disk result store keyed by ``RunSpec.content_hash()``.
+    """On-disk result store keyed by each spec's ``content_hash()``.
 
-    ``get``/``put`` keep live :class:`SimulationStats` objects in an
-    in-memory index, so repeated gets within one process return the *same*
-    object (preserving the old module-cache identity semantics); payloads
-    read from disk are deserialised lazily, once.
+    Both spec kinds share one store: ``get``/``put`` accept a
+    :class:`~repro.experiments.jobs.RunSpec` or a
+    :class:`~repro.experiments.jobs.MultiProgramSpec` and return the
+    matching result type.  Live result objects stay in an in-memory index,
+    so repeated gets within one process return the *same* object (preserving
+    the old module-cache identity semantics); payloads read from disk are
+    deserialised lazily, once.
     """
 
     directory: Path | None = None
@@ -82,6 +139,7 @@ class ResultStore:
     misses: int = 0
     puts: int = 0
     _index: dict | None = field(default=None, repr=False)
+    _meta: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.directory is None:
@@ -91,9 +149,13 @@ class ResultStore:
     # -- persistence --------------------------------------------------------
     @property
     def results_path(self) -> Path:
+        """The JSON-lines file results are appended to."""
+
         return self.directory / _RESULTS_FILENAME
 
     def _load_index(self) -> dict:
+        """Read the JSONL file once and build the key → entry index."""
+
         if self._index is None:
             self._index = {}
             try:
@@ -121,8 +183,22 @@ class ResultStore:
                     continue
                 if record.get("deleted"):
                     self._index.pop(key, None)
+                    self._meta.pop(key, None)
+                    continue
+                # Lazy entry: (kind, payload), deserialised on first get().
+                # "stats" is the pre-kind record field, kept readable so a
+                # store written moments before an upgrade degrades cleanly.
+                if "payload" in record:
+                    entry = (record.get("kind", "run"), record["payload"])
                 elif "stats" in record:
-                    self._index[key] = record["stats"]
+                    entry = ("run", record["stats"])
+                else:
+                    continue
+                self._index[key] = entry
+                self._meta[key] = {
+                    "kind": entry[0],
+                    "spec": record.get("spec") or {},
+                }
         return self._index
 
     def _append(self, record: dict) -> None:
@@ -138,8 +214,8 @@ class ResultStore:
             pass
 
     # -- store API ----------------------------------------------------------
-    def get(self, spec: RunSpec) -> SimulationStats | None:
-        """Return the stored stats for a spec, or ``None`` (counts hit/miss)."""
+    def get(self, spec: Spec) -> Result | None:
+        """Return the stored result for a spec, or ``None`` (counts hit/miss)."""
 
         index = self._load_index()
         key = spec.content_hash()
@@ -147,34 +223,41 @@ class ResultStore:
         if entry is None:
             self.misses += 1
             return None
-        if not isinstance(entry, SimulationStats):
-            entry = stats_from_payload(entry)
+        if isinstance(entry, tuple):
+            entry = result_from_record(*entry)
             index[key] = entry
         self.hits += 1
         return entry
 
-    def put(self, spec: RunSpec, stats: SimulationStats) -> None:
+    def put(self, spec: Spec, result: Result) -> None:
         """Persist one result (and keep the live object for in-process gets)."""
 
         key = spec.content_hash()
+        kind, payload = result_to_record(result)
         self._append(
             {
                 "key": key,
                 "v": code_version(),
+                "kind": kind,
                 "spec": spec.as_dict(),
-                "stats": stats_to_payload(stats),
+                "payload": payload,
             }
         )
-        self._load_index()[key] = stats
+        self._load_index()[key] = result
+        self._meta[key] = {"kind": kind, "spec": spec.as_dict()}
         self.puts += 1
 
-    def __contains__(self, spec: RunSpec) -> bool:
+    def __contains__(self, spec: Spec) -> bool:
+        """Whether the spec has a stored result (without counting hit/miss)."""
+
         return spec.content_hash() in self._load_index()
 
     def __len__(self) -> int:
+        """The number of replayable results in the store."""
+
         return len(self._load_index())
 
-    def invalidate(self, spec: RunSpec) -> bool:
+    def invalidate(self, spec: Spec) -> bool:
         """Drop one entry (tombstone record); returns whether it existed."""
 
         key = spec.content_hash()
@@ -182,6 +265,7 @@ class ResultStore:
         if key not in index:
             return False
         del index[key]
+        self._meta.pop(key, None)
         self._append({"key": key, "v": code_version(), "deleted": True})
         return True
 
@@ -190,13 +274,43 @@ class ResultStore:
 
         dropped = len(self._load_index())
         self._index = {}
+        self._meta = {}
         try:
             self.results_path.unlink(missing_ok=True)
         except OSError:
             pass
         return dropped
 
+    # -- inspection ---------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Display metadata of every stored result.
+
+        Each entry holds the display ``kind`` (``"run"`` for plain
+        single-core records, ``"parameterised run"`` for single-core records
+        whose spec carries ``config_params`` — e.g. the replacement study —
+        and ``"multiprogram"``), a human-readable ``label`` (``None`` for
+        plain runs), and the canonical ``spec``.  This is the single
+        classification point ``kind_summary`` and the CLI's ``cache show``
+        listing both derive from.
+        """
+
+        self._load_index()
+        return [
+            dict(_classify(meta["kind"], meta["spec"]), spec=meta["spec"])
+            for meta in self._meta.values()
+        ]
+
+    def kind_summary(self) -> dict[str, int]:
+        """Entry counts per display kind (see :meth:`records`); non-zero only."""
+
+        counts: dict[str, int] = {}
+        for meta in self.records():
+            counts[meta["kind"]] = counts.get(meta["kind"], 0) + 1
+        return counts
+
     def stats(self) -> StoreStats:
+        """A snapshot of this instance's traffic counters and entry count."""
+
         return StoreStats(
             hits=self.hits,
             misses=self.misses,

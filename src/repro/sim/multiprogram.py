@@ -10,14 +10,20 @@ MemoryHierarchy` instances share one :class:`~repro.memory.
 partitioned_cache.PartitionedCache` and one :class:`~repro.memory.dram.
 DramModel`; two prefetcher stacks are built independently and then, for
 temporal prefetchers, their Markov table and partition sizer are unified so
-both cores read and train the same metadata.  Accesses from the two traces
-are interleaved round-robin, which approximates two cores progressing at
-similar rates while sharing the memory system.
+both cores read and train the same metadata (``share_metadata=False``
+keeps every core's metadata private instead).  Accesses from the two
+traces are interleaved round-robin, which approximates two cores
+progressing at similar rates while sharing the memory system.
+
+Runs of this simulator are described by
+:class:`~repro.experiments.jobs.MultiProgramSpec` and persist in the
+result store as full :class:`MultiProgramResult` payloads (see
+:meth:`MultiProgramResult.as_payload`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 from repro.memory.request import MemoryAccess
@@ -35,6 +41,8 @@ class MultiProgramResult:
     core_results: list[SimulationResult] = field(default_factory=list)
 
     def speedups_relative_to(self, baseline: "MultiProgramResult") -> list[float]:
+        """Per-core speedups against the matching cores of a baseline run."""
+
         return [
             mine.stats.speedup_relative_to(theirs.stats)
             for mine, theirs in zip(self.core_results, baseline.core_results)
@@ -42,9 +50,47 @@ class MultiProgramResult:
 
     @property
     def total_dram_accesses(self) -> int:
+        """DRAM accesses of the run (shared channel, so the per-core max)."""
+
         # The DRAM model is shared, so both cores report the same totals;
         # take the maximum rather than summing the duplicate counters.
         return max(result.stats.dram_accesses for result in self.core_results)
+
+    # -- persistence ---------------------------------------------------------
+    def as_payload(self) -> dict:
+        """JSON-safe form for the result store (exact counter round-trip)."""
+
+        return {
+            "cores": [
+                {
+                    "stats": asdict(result.stats),
+                    "prefetchers": {
+                        name: asdict(stats)
+                        for name, stats in result.prefetcher_stats.items()
+                    },
+                }
+                for result in self.core_results
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MultiProgramResult":
+        """Rebuild a result (stats and prefetcher counters) from a payload."""
+
+        from repro.prefetch.base import PrefetcherStats
+
+        return cls(
+            core_results=[
+                SimulationResult(
+                    stats=SimulationStats(**core["stats"]),
+                    prefetcher_stats={
+                        name: PrefetcherStats(**stats)
+                        for name, stats in core.get("prefetchers", {}).items()
+                    },
+                )
+                for core in payload["cores"]
+            ]
+        )
 
 
 def share_temporal_metadata(prefetchers_by_core: Sequence[Sequence[Prefetcher]]) -> None:
@@ -87,6 +133,7 @@ class MultiProgramSimulator:
         prefetcher_factory: Callable[[], Sequence[Prefetcher]],
         num_cores: int = 2,
         configuration_name: str = "",
+        share_metadata: bool = True,
     ) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be at least 1")
@@ -108,7 +155,8 @@ class MultiProgramSimulator:
             )
             self.simulators.append(simulator)
             prefetchers_by_core.append(prefetchers)
-        share_temporal_metadata(prefetchers_by_core)
+        if share_metadata:
+            share_temporal_metadata(prefetchers_by_core)
 
     def run(
         self,

@@ -112,6 +112,32 @@ class TestExecutionOptions:
         assert main(["cache", "clear", "--cache-dir", cache]) == 0
         assert "cleared 3" in capsys.readouterr().out  # baseline, triage, triangel
 
+    def test_cache_show_lists_record_kinds(self, tmp_path, capsys):
+        """Acceptance: multiprogram and replacement-study records are listed."""
+
+        from repro.experiments.runner import ExperimentRunner
+        from repro.experiments.store import ResultStore
+
+        cache = tmp_path / "cache"
+        runner = ExperimentRunner(
+            max_accesses=300,
+            trace_overrides={"length": 600},
+            warmup_fraction=0.2,
+            store=ResultStore(cache),
+        )
+        runner.run("xalan", "baseline")
+        runner.run("xalan", "triage-hawkeye", config_params={"max_entries": 64})
+        runner.run_multiprogram(("xalan", "omnet"), "baseline", 150)
+
+        assert main(["cache", "show", "--cache-dir", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert "entries: 3" in output
+        assert "run records:" in output
+        assert "parameterised run records:" in output
+        assert "multiprogram records:" in output
+        assert "xalan × triage-hawkeye [max_entries=64]" in output
+        assert "xalan + omnet × baseline" in output
+
     def test_no_cache_bypasses_store(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         argv = [

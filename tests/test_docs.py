@@ -1,0 +1,49 @@
+"""Tests keeping the documentation honest.
+
+Runs the same link checker the CI docs job uses, and cross-checks the
+figure-reproduction guide against the CLI's actual figure registry so the
+table can never drift from the commands it documents.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    def test_doc_pages_exist(self):
+        assert (ROOT / "docs" / "architecture.md").exists()
+        assert (ROOT / "docs" / "reproducing-figures.md").exists()
+
+    def test_markdown_links_resolve(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_reproducing_figures_covers_every_figure_command(self):
+        """Every `repro figure NAME` choice appears in the reproduction guide."""
+
+        from repro.cli import ANALYTIC_COMMANDS, FIGURE_COMMANDS
+
+        text = (ROOT / "docs" / "reproducing-figures.md").read_text()
+        for name in list(FIGURE_COMMANDS) + list(ANALYTIC_COMMANDS):
+            assert f"repro figure {name}" in text, f"{name} missing from the guide"
+
+    def test_guide_mentions_only_real_figure_commands(self):
+        from repro.cli import ANALYTIC_COMMANDS, FIGURE_COMMANDS
+
+        known = set(FIGURE_COMMANDS) | set(ANALYTIC_COMMANDS)
+        text = (ROOT / "docs" / "reproducing-figures.md").read_text()
+        for name in re.findall(r"repro figure ([\w-]+)", text):
+            assert name in known, f"guide documents unknown figure {name!r}"
+
+    def test_readme_links_to_both_doc_pages(self):
+        text = (ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in text
+        assert "docs/reproducing-figures.md" in text

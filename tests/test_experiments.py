@@ -135,6 +135,23 @@ class TestRunner:
         assert len(result.core_results) == 2
         assert result.total_dram_accesses > 0
 
+    def test_multiprogram_run_persists_in_store(self, quick_runner):
+        from repro.experiments.store import default_store
+
+        quick_runner.run_multiprogram(("xalan", "omnet"), "baseline", 300)
+        spec = quick_runner.multiprogram_spec_for(("xalan", "omnet"), "baseline", 300)
+        assert spec in default_store()
+
+    def test_parameterised_matrix(self, quick_runner):
+        table = quick_runner.normalized_matrix(
+            ["xalan"],
+            ["triage-lru", "triage-hawkeye"],
+            "speedup",
+            config_params={"max_entries": 64},
+        )
+        assert table["xalan"]["triage-lru"] > 0
+        assert table["xalan"]["triage-hawkeye"] > 0
+
 
 class TestFigureHarness:
     def test_figure_10_structure(self, quick_runner):
@@ -159,6 +176,29 @@ class TestFigureHarness:
         ):
             result = figure_fn(quick_runner)
             assert "geomean" in result.table
+
+    def test_figure_16_runs_through_the_store(self, quick_runner):
+        from repro.experiments.store import default_store
+
+        result = figures.figure_16_multiprogram(quick_runner, max_accesses_per_core=250)
+        assert result.figure == "Figure 16"
+        assert "geomean" in result.table
+        summary = default_store().kind_summary()
+        assert summary.get("multiprogram", 0) > 0
+        # A second invocation replays every run from the store.
+        puts_before = default_store().puts
+        figures.figure_16_multiprogram(quick_runner, max_accesses_per_core=250)
+        assert default_store().puts == puts_before
+
+    def test_replacement_study_variants_do_not_collide(self, quick_runner):
+        from repro.experiments.store import default_store
+
+        first = figures.replacement_study(quick_runner, max_entries=64)
+        second = figures.replacement_study(quick_runner, max_entries=128)
+        assert set(first.table) == set(second.table)
+        summary = default_store().kind_summary()
+        # Two capacity variants => two full sets of parameterised records.
+        assert summary.get("parameterised run", 0) >= 2 * 3
 
     def test_table_1_sizes_match_paper(self):
         result = figures.table_1_structure_sizes()

@@ -5,10 +5,18 @@ import json
 
 import pytest
 
-from repro.experiments.jobs import RunSpec, code_version, execute_spec
+from repro.experiments.jobs import (
+    MultiProgramSpec,
+    RunSpec,
+    code_version,
+    execute,
+    execute_multiprogram_spec,
+    execute_spec,
+)
 from repro.experiments.runner import ExperimentRunner, clear_caches
 from repro.experiments.store import ResultStore, default_store
 from repro.sim.config import SystemConfig
+from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.stats import SimulationStats
 
 
@@ -23,6 +31,19 @@ def make_spec(**overrides) -> RunSpec:
     )
     defaults.update(overrides)
     return RunSpec.create(**defaults)
+
+
+def make_mp_spec(**overrides) -> MultiProgramSpec:
+    defaults = dict(
+        workloads=("xalan", "omnet"),
+        configuration="triage",
+        system=SystemConfig.scaled(),
+        trace_overrides={"length": 1000},
+        warmup_fraction=0.2,
+        max_accesses_per_core=200,
+    )
+    defaults.update(overrides)
+    return MultiProgramSpec.create(**defaults)
 
 
 class TestRunSpec:
@@ -104,6 +125,96 @@ class TestRunSpec:
         assert len(jobs._TRACE_MEMO) == 1
 
 
+class TestParameterisedSpecs:
+    def test_config_params_change_the_hash(self):
+        base = make_spec(configuration="triage-lru", config_params={"max_entries": 512})
+        other = make_spec(configuration="triage-lru", config_params={"max_entries": 1024})
+        assert base.content_hash() != other.content_hash()
+
+    def test_replacement_variants_hash_to_distinct_specs(self):
+        """Acceptance: differently-capped study variants can never collide."""
+
+        hashes = {
+            make_spec(
+                configuration=f"triage-{policy}",
+                config_params={"max_entries": cap},
+            ).content_hash()
+            for policy in ("lru", "srrip", "hawkeye")
+            for cap in (256, 768, 1024, None)
+        }
+        assert len(hashes) == 12
+
+    def test_params_distinct_from_no_params(self):
+        plain = make_spec(configuration="triage-lru")
+        capped = make_spec(configuration="triage-lru", config_params={"max_entries": 1024})
+        assert plain.content_hash() != capped.content_hash()
+
+    def test_execute_rebuilds_parameterised_stack_from_spec(self):
+        spec = make_spec(
+            configuration="triage-hawkeye",
+            config_params={"max_entries": 64},
+            max_accesses=200,
+            warmup_fraction=0.0,
+        )
+        stats = execute_spec(spec)
+        assert stats.configuration == "triage-hawkeye"
+        assert stats.accesses == 200
+
+    def test_config_params_round_trip_in_as_dict(self):
+        spec = make_spec(config_params={"max_entries": 64})
+        payload = json.loads(json.dumps(spec.as_dict()))
+        assert payload["config_params"] == {"max_entries": 64}
+
+
+class TestMultiProgramSpec:
+    def test_identical_specs_are_equal_and_hash_equal(self):
+        first, second = make_mp_spec(), make_mp_spec()
+        assert first == second
+        assert first.content_hash() == second.content_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workloads": ("omnet", "xalan")},  # core order matters
+            {"workloads": ("xalan", "mcf")},
+            {"configuration": "triangel"},
+            {"max_accesses_per_core": 201},
+            {"max_accesses_per_core": None},
+            {"warmup_fraction": 0.3},
+            {"share_metadata": False},
+        ],
+    )
+    def test_any_field_change_misses(self, change):
+        assert make_mp_spec().content_hash() != make_mp_spec(**change).content_hash()
+
+    def test_kind_discriminator_separates_spec_types(self):
+        assert make_spec().as_dict()["kind"] == "run"
+        assert make_mp_spec().as_dict()["kind"] == "multiprogram"
+
+    def test_as_dict_is_json_serialisable(self):
+        payload = json.loads(json.dumps(make_mp_spec().as_dict()))
+        assert payload["workloads"] == ["xalan", "omnet"]
+        assert payload["share_metadata"] is True
+
+    def test_execute_runs_from_spec_alone(self):
+        result = execute_multiprogram_spec(make_mp_spec())
+        assert len(result.core_results) == 2
+        assert all(core.stats.accesses == 200 for core in result.core_results)
+        assert result.core_results[0].stats.workload == "xalan"
+        assert result.core_results[1].stats.workload == "omnet"
+
+    def test_execute_dispatches_on_spec_kind(self):
+        assert isinstance(execute(make_mp_spec()), MultiProgramResult)
+        assert isinstance(
+            execute(make_spec(max_accesses=100, warmup_fraction=0.0)), SimulationStats
+        )
+
+    def test_unknown_configuration_rejected_by_runner(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError):
+            runner.multiprogram_spec_for(("xalan", "omnet"), "voyager")
+
+
 class TestResultStore:
     def test_round_trip_preserves_every_counter(self, tmp_path):
         spec = make_spec()
@@ -169,6 +280,54 @@ class TestResultStore:
         with store.results_path.open("a") as handle:
             handle.write("{not json\n")
         assert ResultStore(tmp_path).get(spec).accesses == 9
+
+    def test_multiprogram_round_trip_preserves_per_core_results(self, tmp_path):
+        """Acceptance: MultiProgramResult payloads survive a fresh process."""
+
+        spec = make_mp_spec()
+        result = execute_multiprogram_spec(spec)
+        ResultStore(tmp_path).put(spec, result)
+        loaded = ResultStore(tmp_path).get(spec)  # fresh instance: reads disk
+        assert isinstance(loaded, MultiProgramResult)
+        assert [core.stats for core in loaded.core_results] == [
+            core.stats for core in result.core_results
+        ]
+        assert [core.prefetcher_stats for core in loaded.core_results] == [
+            core.prefetcher_stats for core in result.core_results
+        ]
+
+    def test_multiprogram_get_returns_same_object_within_process(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_mp_spec()
+        store.put(spec, execute_multiprogram_spec(spec))
+        assert store.get(spec) is store.get(spec)
+
+    def test_kind_summary_and_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_spec(), SimulationStats(accesses=1))
+        store.put(
+            make_spec(configuration="triage-lru", config_params={"max_entries": 64}),
+            SimulationStats(accesses=2),
+        )
+        mp_spec = make_mp_spec(max_accesses_per_core=50)
+        store.put(mp_spec, execute_multiprogram_spec(mp_spec))
+        # A fresh instance rebuilds the same summary from disk.
+        for instance in (store, ResultStore(tmp_path)):
+            assert instance.kind_summary() == {
+                "run": 1,
+                "parameterised run": 1,
+                "multiprogram": 1,
+            }
+        records = ResultStore(tmp_path).records()
+        assert sorted(meta["kind"] for meta in records) == [
+            "multiprogram",
+            "parameterised run",
+            "run",
+        ]
+        labels = {meta["kind"]: meta["label"] for meta in records}
+        assert labels["run"] is None
+        assert labels["parameterised run"] == "xalan × triage-lru [max_entries=64]"
+        assert labels["multiprogram"] == "xalan + omnet × triage"
 
     def test_clear_caches_clears_persistent_default_store(self):
         spec = make_spec()

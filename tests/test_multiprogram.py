@@ -49,6 +49,35 @@ class TestMultiProgram:
         share_temporal_metadata(stacks)
         assert stacks[0][1].markov is stacks[1][1].markov
 
+    def test_metadata_sharing_can_be_disabled(self, small_system):
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("triangel", small_system),
+            num_cores=2,
+            configuration_name="triangel",
+            share_metadata=False,
+        )
+        temporal = [sim.prefetchers[1] for sim in simulator.simulators]
+        assert temporal[0].markov is not temporal[1].markov
+
+    def test_result_payload_round_trip(self, small_system, traces):
+        from repro.sim.multiprogram import MultiProgramResult
+
+        simulator = MultiProgramSimulator(
+            small_system,
+            prefetcher_factory=lambda: build_prefetchers("triage", small_system),
+            num_cores=2,
+            configuration_name="triage",
+        )
+        result = simulator.run(traces, workload_names=["a", "b"], max_accesses_per_core=200)
+        rebuilt = MultiProgramResult.from_payload(result.as_payload())
+        assert [core.stats for core in rebuilt.core_results] == [
+            core.stats for core in result.core_results
+        ]
+        assert [core.prefetcher_stats for core in rebuilt.core_results] == [
+            core.prefetcher_stats for core in result.core_results
+        ]
+
     def test_uneven_trace_lengths(self, small_system):
         traces = [
             generate_sequential_trace(lines=200, base_address=0x10_0000),

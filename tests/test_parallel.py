@@ -4,6 +4,8 @@ from repro.experiments.jobs import RunSpec
 from repro.experiments.parallel import BatchExecutor
 from repro.experiments.runner import ExperimentRunner, clear_caches
 from repro.experiments.store import ResultStore
+from repro.sim.multiprogram import MultiProgramResult
+from repro.sim.stats import SimulationStats
 
 WORKLOADS = ["xalan", "omnet", "mcf"]
 SERIES = ["baseline", "triage", "triangel"]
@@ -72,6 +74,87 @@ class TestParallelDeterminism:
         assert parallel.normalized_matrix(
             WORKLOADS[:2], ["triage"], "speedup"
         ) == serial.normalized_matrix(WORKLOADS[:2], ["triage"], "speedup")
+
+
+class TestMultiProgramBatches:
+    PAIRS = [("xalan", "omnet"), ("mcf", "xalan")]
+
+    def specs(self, runner, cap=150):
+        return [
+            runner.multiprogram_spec_for(pair, configuration, cap)
+            for pair in self.PAIRS
+            for configuration in ("baseline", "triage")
+        ]
+
+    def test_parallel_multiprogram_matches_serial(self, tmp_path):
+        """Acceptance: multiprogram runs at jobs=4 match serial bit-for-bit."""
+
+        serial = quick_runner(store=ResultStore(tmp_path / "serial"), jobs=1)
+        parallel = quick_runner(store=ResultStore(tmp_path / "parallel"), jobs=4)
+        expected = serial.submit(self.specs(serial))
+        actual = parallel.submit(self.specs(parallel))
+        assert set(expected) == set(actual)
+        for spec in expected:
+            assert [core.stats for core in expected[spec].core_results] == [
+                core.stats for core in actual[spec].core_results
+            ], spec
+
+    def test_mixed_batch_executes_both_kinds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        single = spec(runner, "xalan", "baseline")
+        multi = runner.multiprogram_spec_for(("xalan", "omnet"), "baseline", 100)
+        results = BatchExecutor(store=store, jobs=1).run([single, multi, single])
+        assert len(results) == 2
+        assert isinstance(results[single], SimulationStats)
+        assert isinstance(results[multi], MultiProgramResult)
+        assert store.kind_summary() == {"run": 1, "multiprogram": 1}
+
+    def test_second_multiprogram_batch_replays_from_store(self, tmp_path):
+        first = quick_runner(store=ResultStore(tmp_path))
+        first.submit(self.specs(first))
+
+        fresh_store = ResultStore(tmp_path)  # fresh process, in effect
+        second = quick_runner(store=fresh_store)
+        results = second.submit(self.specs(second))
+        assert fresh_store.misses == 0
+        assert fresh_store.puts == 0
+        assert fresh_store.hits == len(results)
+
+    def test_run_multiprogram_replays_within_process(self, tmp_path):
+        runner = quick_runner(store=ResultStore(tmp_path))
+        first = runner.run_multiprogram(("xalan", "omnet"), "baseline", 100)
+        second = runner.run_multiprogram(("xalan", "omnet"), "baseline", 100)
+        assert first is second  # live-object identity via the store index
+        assert runner.store.puts == 1
+
+
+class TestParameterisedBatches:
+    def test_replacement_variants_occupy_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        for cap in (32, 64):
+            runner.run("xalan", "triage-lru", config_params={"max_entries": cap})
+        assert len(store) == 2
+        assert store.kind_summary() == {"parameterised run": 2}
+
+    def test_second_parameterised_run_replays_from_store(self, tmp_path):
+        first = quick_runner(store=ResultStore(tmp_path))
+        first.run("xalan", "triage-hawkeye", config_params={"max_entries": 64})
+
+        fresh_store = ResultStore(tmp_path)
+        second = quick_runner(store=fresh_store)
+        second.run("xalan", "triage-hawkeye", config_params={"max_entries": 64})
+        assert (fresh_store.hits, fresh_store.misses, fresh_store.puts) == (1, 0, 0)
+
+    def test_parallel_parameterised_matrix_matches_serial(self, tmp_path):
+        policies = ["triage-lru", "triage-srrip", "triage-hawkeye"]
+        serial = quick_runner(store=ResultStore(tmp_path / "serial"), jobs=1)
+        parallel = quick_runner(store=ResultStore(tmp_path / "parallel"), jobs=4)
+        params = {"max_entries": 48}
+        expected = serial.run_matrix(WORKLOADS[:2], policies, config_params=params)
+        actual = parallel.run_matrix(WORKLOADS[:2], policies, config_params=params)
+        assert expected == actual
 
 
 class TestPersistenceAcrossProcesses:

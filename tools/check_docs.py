@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check markdown documentation for broken relative links and stale anchors.
+
+Scans the repository's markdown files (README.md and docs/) for inline
+links.  For every relative link it verifies the target file exists; for
+every in-repo anchor link (``file.md#section``) it verifies the heading
+exists in the target.  External links (http/https/mailto) are recorded but
+not fetched, keeping the check offline and deterministic.
+
+Exits non-zero listing every broken link.  Used by the CI docs job and by
+``tests/test_docs.py``; stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown files checked, relative to the repository root.
+DOC_FILES = ("README.md", "docs/architecture.md", "docs/reproducing-figures.md")
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def anchors_in(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines."""
+
+    return {slugify(match) for match in _HEADING.findall(path.read_text())}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return a list of broken-link descriptions for one markdown file."""
+
+    problems = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: missing target {target}")
+            continue
+        if anchor and resolved.suffix == ".md" and slugify(anchor) not in anchors_in(resolved):
+            problems.append(f"{path.relative_to(root)}: missing anchor {target}")
+    return problems
+
+
+def main() -> int:
+    """Check every documentation file; print problems and return exit code."""
+
+    root = Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    for name in DOC_FILES:
+        path = root / name
+        if not path.exists():
+            problems.append(f"{name}: documentation file missing")
+            continue
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"docs ok: {len(DOC_FILES)} files checked")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
