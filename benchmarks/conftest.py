@@ -3,14 +3,15 @@
 One :class:`~repro.experiments.runner.ExperimentRunner` is shared by every
 benchmark module in the session, and its result store points at a directory
 shared *across* sessions (``.repro_cache/benchmarks`` at the repository
-root, overridable with ``REPRO_CACHE_DIR``).  Figures 10-15 all plot the
-same underlying (workload × configuration) runs, so the first module to
-execute pays for the simulations and the rest replay them from the store —
-and because *every* simulation flows through the store (figure 16's
-multiprogrammed pairs and the parameterised replacement study included,
-each keyed by spec hash + code version), a *re-run* of the harness in a
-fresh process re-executes **zero** simulations until the simulator's
-sources change.
+root, overridable with ``REPRO_CACHE_DIR``).  Each benchmark runs one
+registered :class:`~repro.experiments.study.Study` through its legacy
+``figure_N`` wrapper; figures 10-15 compile to overlapping (workload ×
+configuration) batches, so the first module to execute pays for the
+simulations and the rest replay them from the store — and because *every*
+simulation flows through the store (figure 16's multiprogrammed pairs and
+the parameterised replacement study included, each keyed by spec hash +
+code version), a *re-run* of the harness in a fresh process re-executes
+**zero** simulations until the simulator's sources change.
 
 Set ``REPRO_JOBS=N`` to run store misses in N worker processes, and
 ``REPRO_PREWARM=1`` to batch-submit the full figure 10-15 matrix before any

@@ -8,6 +8,13 @@ the BasePatternConf accuracy gate, the Second-Chance Sampler, the Metadata
 Reuse Buffer, the Set Dueller, ReuseConf and finally HighPatternConf — and
 the speedup/DRAM-traffic effect of each addition is printed.
 
+The whole experiment is the registered ``fig20`` :class:`~repro.experiments.
+study.Study` with its workload axis overridden — no harness code, and every
+run persists in the shared result store.  The same override is available
+from the CLI::
+
+    python -m repro study run fig20 --workloads xalan,omnet
+
 Run with::
 
     python examples/ablation_study.py                # xalan + omnet (quicker)
@@ -19,8 +26,8 @@ from __future__ import annotations
 import sys
 
 from repro import ExperimentRunner
-from repro.analysis.report import render_figure
 from repro.experiments.configs import ABLATION_LADDER
+from repro.experiments.studies import STUDIES
 from repro.workloads.registry import SPEC_WORKLOADS
 
 DEFAULT_WORKLOADS = ["xalan", "omnet"]
@@ -29,24 +36,16 @@ DEFAULT_WORKLOADS = ["xalan", "omnet"]
 def main() -> None:
     requested = [name for name in sys.argv[1:] if name in SPEC_WORKLOADS]
     workloads = requested or DEFAULT_WORKLOADS
-    runner = ExperimentRunner()
-    steps = list(ABLATION_LADDER)
+    study = STUDIES.get("fig20").overridden(workloads=workloads)
 
     print(f"Ablation ladder over: {', '.join(workloads)}")
     print("Steps:")
-    for index, step in enumerate(steps, start=1):
+    for index, step in enumerate(ABLATION_LADDER, start=1):
         print(f"  {index}. {step}")
     print()
 
-    speedup = runner.normalized_matrix(
-        workloads, steps, "speedup", extra_factories=ABLATION_LADDER
-    )
-    traffic = runner.normalized_matrix(
-        workloads, steps, "dram_traffic", extra_factories=ABLATION_LADDER
-    )
-    print(render_figure("Ablation: speedup over baseline", speedup, steps))
-    print()
-    print(render_figure("Ablation: normalised DRAM traffic", traffic, steps))
+    result = study.run(ExperimentRunner())
+    print(result.rendered)
     print()
     print(
         "Expected shape (paper, figure 20): the accuracy gate (BasePatternConf)\n"

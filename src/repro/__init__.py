@@ -31,6 +31,8 @@ from repro.core import TriangelConfig, TriangelPrefetcher
 from repro.experiments import figures
 from repro.experiments.configs import available_configurations, build_prefetchers
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.studies import STUDIES
+from repro.experiments.study import Study
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import SystemConfig
@@ -52,6 +54,8 @@ __all__ = [
     "Simulator",
     "MultiProgramSimulator",
     "ExperimentRunner",
+    "STUDIES",
+    "Study",
     "figures",
     "available_configurations",
     "build_prefetchers",

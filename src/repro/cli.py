@@ -1,9 +1,10 @@
 """Command-line interface for the Triangel reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 ``list``
-    Show the available workloads and prefetcher configurations.
+    Show the available workloads, prefetcher configurations (parameterised
+    ones with their parameter signatures), and registered studies.
 ``run``
     Simulate one workload under one (or several) configurations and print
     the paper's headline metrics, normalised against the stride-only
@@ -11,18 +12,25 @@ Four subcommands cover the common workflows without writing any Python:
 ``figure``
     Regenerate one of the paper's figures or tables and print it as a text
     table (the same output the benchmark harness produces).
+``study``
+    Work with the declarative study registry: ``list`` the registered
+    studies, ``describe`` one study's axes and compiled batch, or ``run``
+    a study — optionally with its axes overridden (``--workloads``,
+    ``--configs``, and ``--set key=value`` for the system scale, metric, or
+    any configuration parameter).  ``run --all`` regenerates every study;
+    against a warm store that re-executes zero simulations.
 ``cache``
     Inspect (``show``) or empty (``clear``) the persistent result store
-    that ``run`` and ``figure`` read and write under ``.repro_cache/``.
+    that the simulating subcommands read and write under ``.repro_cache/``.
     ``show`` breaks the entries down by record kind (plain single-core
     runs, parameterised runs such as the replacement study, and
     multiprogram runs) and lists the latter two individually.
 
-``run`` and ``figure`` accept ``--jobs N`` to execute simulation matrices in
-N worker processes, and ``--cache-dir`` to relocate the result store (the
-``REPRO_CACHE_DIR`` environment variable does the same).  A second
-invocation with the same parameters replays completed simulations from the
-store instead of re-running them.
+``run``, ``figure`` and ``study run`` accept ``--jobs N`` to execute
+simulation matrices in N worker processes, and ``--cache-dir`` to relocate
+the result store (the ``REPRO_CACHE_DIR`` environment variable does the
+same).  A second invocation with the same parameters replays completed
+simulations from the store instead of re-running them.
 
 Examples::
 
@@ -31,6 +39,11 @@ Examples::
     python -m repro run mcf --trace-length 20000 --max-accesses 10000
     python -m repro figure fig10 --jobs 4
     python -m repro figure table1
+    python -m repro study list
+    python -m repro study describe fig16
+    python -m repro study run fig10 --workloads mcf,astar --jobs 4
+    python -m repro study run replacement-study --set max_entries=2048
+    python -m repro study run --all
     python -m repro cache show
     python -m repro cache clear
 """
@@ -43,9 +56,11 @@ import sys
 from typing import Callable, Sequence
 
 from repro.experiments import figures
-from repro.experiments.configs import available_configurations
+from repro.experiments.configs import configuration_signatures
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import ResultStore, default_store
+from repro.experiments.studies import STUDIES
+from repro.experiments.study import parse_assignments
 from repro.sim.config import SystemConfig
 from repro.workloads.registry import available_workloads
 
@@ -121,6 +136,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(figure_parser)
 
+    study_parser = subparsers.add_parser(
+        "study", help="list, describe, or run declarative studies"
+    )
+    study_subparsers = study_parser.add_subparsers(dest="study_command", required=True)
+    study_subparsers.add_parser("list", help="list every registered study")
+    describe_parser = study_subparsers.add_parser(
+        "describe", help="show one study's axes and compiled batch"
+    )
+    describe_parser.add_argument("name", help="study name (see `repro study list`)")
+    study_run_parser = study_subparsers.add_parser(
+        "run", help="run one study (or --all), with optional axis overrides"
+    )
+    study_run_parser.add_argument(
+        "name", nargs="?", default=None, help="study name (see `repro study list`)"
+    )
+    study_run_parser.add_argument(
+        "--all", action="store_true", help="run every registered study"
+    )
+    study_run_parser.add_argument(
+        "--set",
+        action="append",
+        dest="sets",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override a study axis (scale, system, metric, baseline, "
+        "max_accesses_per_core) or any configuration parameter; repeatable",
+    )
+    study_run_parser.add_argument(
+        "--workloads", default=None, help="comma-separated workload-axis override"
+    )
+    study_run_parser.add_argument(
+        "--configs", default=None, help="comma-separated configuration-axis override"
+    )
+    study_run_parser.add_argument(
+        "--trace-length", type=int, default=None, help="override every trace's length"
+    )
+    study_run_parser.add_argument(
+        "--max-accesses", type=int, default=None, help="cap the sampled accesses per run"
+    )
+    _add_execution_arguments(study_run_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent result store"
     )
@@ -157,10 +213,19 @@ def _store_for(args: argparse.Namespace) -> ResultStore:
     return ResultStore(cache_dir) if cache_dir else default_store()
 
 
+def _trace_overrides(args: argparse.Namespace) -> dict:
+    """Trace-generation overrides from the CLI flags (validated)."""
+
+    length = getattr(args, "trace_length", None)
+    if length is None:
+        return {}
+    if length <= 0:
+        raise ValueError("--trace-length must be positive")
+    return {"length": length}
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    overrides = {}
-    if getattr(args, "trace_length", None):
-        overrides["length"] = args.trace_length
+    overrides = _trace_overrides(args)
     return ExperimentRunner(
         system=SystemConfig.scaled(getattr(args, "scale", 1.0)),
         max_accesses=getattr(args, "max_accesses", None),
@@ -176,7 +241,14 @@ def _command_list() -> str:
     lines = ["Workloads:"]
     lines.extend(f"  {name}" for name in available_workloads())
     lines.append("Configurations:")
-    lines.extend(f"  {name}" for name in available_configurations())
+    # Parameterised configurations show their call-time parameter signature
+    # (plain ones show nothing): e.g. `triage-lru(max_entries=1024)`.
+    lines.extend(
+        f"  {name}{signature}"
+        for name, signature in configuration_signatures().items()
+    )
+    lines.append("Studies:")
+    lines.extend(f"  {name}" for name in STUDIES.names())
     return "\n".join(lines)
 
 
@@ -210,6 +282,104 @@ def _command_figure(args: argparse.Namespace) -> str:
         return ANALYTIC_COMMANDS[args.name]().rendered
     runner = _make_runner(args)
     return FIGURE_COMMANDS[args.name](runner).rendered
+
+
+def _command_study(args: argparse.Namespace) -> str | None:
+    """Implement ``repro study list|describe|run``.
+
+    Returns the text to print, or ``None`` when the ``run --all`` path has
+    already streamed each table as it completed.
+    """
+
+    if args.study_command == "list":
+        lines = []
+        for name, study in STUDIES.items():
+            lines.append(f"{name:<20} {study.figure}: {study.display_title()}")
+        return "\n".join(lines)
+    if args.study_command == "describe":
+        return STUDIES.describe(args.name)
+
+    # -- run ---------------------------------------------------------------
+    assignments = parse_assignments(args.sets)
+
+    def split_names(raw: str | None, flag: str) -> list[str] | None:
+        """Split a comma-separated name list, tolerating whitespace.
+
+        An explicitly given but empty list is an error — overriding an axis
+        to nothing would print a degenerate table, not fail loudly.
+        """
+
+        if raw is None:
+            return None
+        names = [name.strip() for name in raw.split(",") if name.strip()]
+        if not names:
+            raise ValueError(f"{flag}: no names given")
+        return names
+
+    workloads = split_names(args.workloads, "--workloads")
+    configurations = split_names(args.configs, "--configs")
+    if args.all:
+        # Axis overrides are per-study (a scale valid for fig10 is invalid
+        # for table2's fixed paper system); combining them with --all would
+        # either crash mid-sweep or silently skip, so reject up front — as
+        # is a study name, which --all would otherwise silently ignore.
+        if args.name is not None:
+            raise ValueError(
+                f"repro study run: give either {args.name!r} or --all, not both"
+            )
+        if assignments or workloads or configurations:
+            raise ValueError(
+                "repro study run --all does not take axis overrides; "
+                "run the overridden study by name instead"
+            )
+        if args.max_accesses is not None or args.trace_length is not None:
+            # Truncation flags don't apply uniformly across the sweep
+            # (multiprogram studies cap per-core, Graph500 traces take no
+            # length); failing at fig16/fig17 mid-sweep would waste the
+            # minutes already simulated, so reject before starting.
+            raise ValueError(
+                "repro study run --all does not take truncation flags; "
+                "run truncated studies by name instead"
+            )
+        names = STUDIES.names()
+    elif args.name is not None:
+        names = [args.name]
+    else:
+        raise ValueError("repro study run: give a study name or --all")
+
+    store = _store_for(args)
+    outputs = []
+    for name in names:
+        study = STUDIES.get(name).overridden(
+            workloads=workloads,
+            configurations=configurations,
+            assignments=assignments,
+        )
+        if study.pairs and args.max_accesses is not None:
+            # Multiprogram specs cap per-core accesses, not total sampled
+            # accesses; silently running uncapped would mislabel the table.
+            raise ValueError(
+                f"study {name!r} runs multiprogrammed; --max-accesses does "
+                f"not apply — use --set max_accesses_per_core=N"
+            )
+        # The runner carries the study's (possibly overridden) system axis
+        # plus this invocation's execution policy.
+        runner = study.make_runner(
+            max_accesses=args.max_accesses,
+            trace_overrides=_trace_overrides(args),
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            store=store,
+        )
+        rendered = study.run(runner).rendered
+        if args.all:
+            # Print each table as it completes so a long sweep streams its
+            # results instead of holding everything until the end.
+            print(rendered)
+            print()
+        else:
+            outputs.append(rendered)
+    return "\n".join(outputs) if not args.all else None
 
 
 def _command_cache(args: argparse.Namespace) -> str:
@@ -252,6 +422,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_command_run(args))
         elif args.command == "figure":
             print(_command_figure(args))
+        elif args.command == "study":
+            output = _command_study(args)
+            if output is not None:
+                print(output)
         elif args.command == "cache":
             print(_command_cache(args))
     except BrokenPipeError:  # e.g. `repro cache show | head`
@@ -260,6 +434,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # status with "Exception ignored" noise.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ValueError as error:
+        # Validation errors (unknown names, inapplicable overrides, bad
+        # flags) are user input problems: deliver the message, not a
+        # traceback.
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,24 +1,31 @@
-"""Experiment harness: specs, the batch executor, the result store, and figures.
+"""Experiment harness: studies, specs, the executor, the store, and figures.
 
-Execution is layered: an immutable spec — a
+Execution is layered: a declarative :class:`~repro.experiments.study.Study`
+(axes: workloads × configurations(+params) × system × metric reducer)
+*compiles* to immutable specs — a
 :class:`~repro.experiments.jobs.RunSpec` for single-core cells, a
 :class:`~repro.experiments.jobs.MultiProgramSpec` for multiprogrammed pairs
-— describes one simulation, the
-:class:`~repro.experiments.parallel.BatchExecutor` runs deduplicated,
+— the :class:`~repro.experiments.parallel.BatchExecutor` runs deduplicated,
 freely-mixed batches of specs (optionally in worker processes), and the
 :class:`~repro.experiments.store.ResultStore` persists completed runs of
 both kinds across processes.
-:class:`~repro.experiments.runner.ExperimentRunner` is the high-level
-interface the figures and CLI use.
+:class:`~repro.experiments.runner.ExperimentRunner` carries the execution
+policy (system, jobs, store), and
+:data:`~repro.experiments.studies.STUDIES` holds every figure and table of
+the paper as a registered study.
 """
 
 from repro.experiments.configs import (
     ABLATION_LADDER,
+    ALL_CONFIGS,
+    CONFIGS,
     EVALUATION_CONFIGS,
     METADATA_FORMAT_CONFIGS,
     PARAMETERISED_CONFIGS,
+    ConfigRegistry,
     available_configurations,
     build_prefetchers,
+    configuration_signatures,
 )
 from repro.experiments.jobs import (
     MultiProgramSpec,
@@ -30,20 +37,31 @@ from repro.experiments.jobs import (
 from repro.experiments.parallel import BatchExecutor
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import ResultStore, default_store, set_default_store
+from repro.experiments.study import FigureResult, Reducer, Study, StudyRegistry
+from repro.experiments.studies import STUDIES
 from repro.experiments import figures
 
 __all__ = [
     "ABLATION_LADDER",
+    "ALL_CONFIGS",
+    "CONFIGS",
+    "ConfigRegistry",
     "EVALUATION_CONFIGS",
     "METADATA_FORMAT_CONFIGS",
     "PARAMETERISED_CONFIGS",
     "available_configurations",
     "build_prefetchers",
+    "configuration_signatures",
     "BatchExecutor",
     "ExperimentRunner",
+    "FigureResult",
     "MultiProgramSpec",
+    "Reducer",
     "ResultStore",
     "RunSpec",
+    "STUDIES",
+    "Study",
+    "StudyRegistry",
     "default_store",
     "execute",
     "execute_multiprogram_spec",

@@ -23,6 +23,9 @@ that system.
 
 from __future__ import annotations
 
+import inspect
+from collections.abc import Mapping as AbcMapping
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.core.config import TriangelConfig
@@ -33,6 +36,122 @@ from repro.sim.config import SystemConfig
 from repro.triage.triage import TriageConfig, TriagePrefetcher
 
 ConfigFactory = Callable[[SystemConfig], list[Prefetcher]]
+
+
+# ---------------------------------------------------------------------------
+# The unified configuration registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConfigEntry:
+    """One registered configuration: a builder plus its parameter signature.
+
+    ``builder`` takes the system first and then the configuration's call-time
+    parameters as keyword arguments; ``params`` maps each parameter name to
+    its default value (empty for plain configurations, whose identity is
+    fully determined by their name).
+    """
+
+    name: str
+    builder: Callable[..., list[Prefetcher]]
+    params: tuple = ()
+
+    @property
+    def takes_params(self) -> bool:
+        """Whether the builder accepts call-time parameters at all."""
+
+        return bool(self.params)
+
+    def signature(self) -> str:
+        """The parameter signature for listings: ``""`` or ``"(k=default)"``."""
+
+        if not self.params:
+            return ""
+        return "(" + ", ".join(f"{key}={value}" for key, value in self.params) + ")"
+
+    def build(self, system: SystemConfig, params: Mapping | None = None) -> list[Prefetcher]:
+        """Build the prefetcher stack, applying ``params`` over the defaults."""
+
+        params = dict(params or {})
+        if params and not self.takes_params:
+            raise ValueError(f"configuration {self.name!r} takes no parameters")
+        unknown = set(params) - {key for key, _ in self.params}
+        if unknown:
+            raise ValueError(
+                f"configuration {self.name!r} does not take parameter(s) "
+                f"{sorted(unknown)}; accepted: {[key for key, _ in self.params]}"
+            )
+        return self.builder(system, **params)
+
+
+@dataclass
+class ConfigRegistry:
+    """Every named configuration, plain and parameterised alike, in one place.
+
+    There is a single resolution path — :meth:`resolve` — and a single
+    identity scheme: a configuration is keyed by ``(name, params)``, where
+    ``params`` is empty for plain configurations.  The parameter defaults are
+    read off each builder's signature at registration time, so listings can
+    show what a configuration accepts without running it.
+    """
+
+    _entries: dict[str, ConfigEntry] = field(default_factory=dict)
+
+    def register(self, name: str, builder: Callable[..., list[Prefetcher]]) -> ConfigEntry:
+        """Register a builder under a (unique) configuration name."""
+
+        if name in self._entries:
+            raise ValueError(f"configuration {name!r} is already registered")
+        parameters = list(inspect.signature(builder).parameters.values())[1:]
+        params = tuple(
+            (parameter.name, parameter.default)
+            for parameter in parameters
+            if parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        )
+        entry = ConfigEntry(name=name, builder=builder, params=params)
+        self._entries[name] = entry
+        return entry
+
+    def entry(self, name: str) -> ConfigEntry:
+        """The entry for a name, or a ``ValueError`` listing what exists."""
+
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ValueError(
+                f"unknown configuration {name!r}; available: {self.names()}"
+            )
+        return entry
+
+    def resolve(
+        self, name: str, system: SystemConfig, params: Mapping | None = None
+    ) -> list[Prefetcher]:
+        """Build the named configuration's prefetcher stack (the single path)."""
+
+        return self.entry(name).build(system, params)
+
+    def takes_params(self, name: str) -> bool:
+        """Whether the named configuration accepts call-time parameters."""
+
+        return self.entry(name).takes_params
+
+    def names(self) -> list[str]:
+        """Every registered name, sorted."""
+
+        return sorted(self._entries)
+
+    def signatures(self) -> dict[str, str]:
+        """Name → parameter-signature string (empty for plain configs)."""
+
+        return {name: self._entries[name].signature() for name in self.names()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 # ---------------------------------------------------------------------------
@@ -236,51 +355,81 @@ def _replacement_builder(policy: str):
     return build
 
 
-#: Configurations whose prefetcher stack depends on call-time parameters.
-#: Unlike :data:`ALL_CONFIGS` factories (``name`` alone identifies the
-#: stack), these builders take keyword parameters; the parameters travel in
+# ---------------------------------------------------------------------------
+# Registration: every configuration, plain and parameterised, in one registry
+# ---------------------------------------------------------------------------
+#: The single configuration registry.  Plain configurations take no
+#: parameters (their name alone identifies the stack); parameterised ones —
+#: currently the replacement study's policy variants — accept call-time
+#: keyword parameters that travel in
 #: :attr:`~repro.experiments.jobs.RunSpec.config_params`, so they are part
-#: of the store key and are available to rebuild the stack in pool workers.
-PARAMETERISED_CONFIGS: dict[str, Callable[..., list[Prefetcher]]] = {
-    f"triage-{policy}": _replacement_builder(policy) for policy in REPLACEMENT_POLICIES
-}
+#: of the store key and rebuild identically in pool workers.
+CONFIGS = ConfigRegistry()
 
+for _name, _factory in EVALUATION_CONFIGS.items():
+    CONFIGS.register(_name, _factory)
+for _name, _factory in METADATA_FORMAT_CONFIGS.items():
+    CONFIGS.register(f"triage-format-{_name}", _factory)
+for _name, _factory in ABLATION_LADDER.items():
+    CONFIGS.register(f"ablation-{_name}", _factory)
+for _policy in REPLACEMENT_POLICIES:
+    CONFIGS.register(f"triage-{_policy}", _replacement_builder(_policy))
+del _name, _factory, _policy
 
-def replacement_study_configs(max_entries: int | None = 1024) -> dict[str, ConfigFactory]:
-    """Triage with LRU / SRRIP / HawkEye Markov replacement.
+class _RegistryView(AbcMapping):
+    """A live name → builder mapping over one half of :data:`CONFIGS`.
 
-    ``max_entries`` caps the Markov occupancy, reproducing the paper's
-    observation that replacement policy only matters once capacity is
-    artificially constrained (footnote 4).
-
-    This is the closed-over-factory form kept for ``extra_factories``
-    callers; the figure harness itself now runs the study through
-    :data:`PARAMETERISED_CONFIGS` so results persist in the store.
+    Unlike a snapshot dict, the view always agrees with the registry: a
+    configuration registered after import (``CONFIGS.register(...)``)
+    appears here immediately, so legacy call sites iterating these views
+    can never disagree with the single source of truth.
     """
 
-    def factory(policy: str) -> ConfigFactory:
-        """Close the parameterised builder over this study's ``max_entries``."""
+    def __init__(self, registry: ConfigRegistry, parameterised: bool) -> None:
+        self._registry = registry
+        self._parameterised = parameterised
 
-        builder = PARAMETERISED_CONFIGS[f"triage-{policy}"]
-        return lambda system: builder(system, max_entries=max_entries)
+    def _matches(self, entry: ConfigEntry) -> bool:
+        return entry.takes_params == self._parameterised
 
-    return {f"triage-{policy}": factory(policy) for policy in REPLACEMENT_POLICIES}
+    def __getitem__(self, name: str):
+        entry = self._registry._entries.get(name)
+        if entry is None or not self._matches(entry):
+            raise KeyError(name)
+        return entry.builder
+
+    def __iter__(self):
+        return (
+            entry.name
+            for entry in self._registry._entries.values()
+            if self._matches(entry)
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
 
 
-# ---------------------------------------------------------------------------
-# Lookup
-# ---------------------------------------------------------------------------
-ALL_CONFIGS: dict[str, ConfigFactory] = {
-    **EVALUATION_CONFIGS,
-    **{f"triage-format-{name}": factory for name, factory in METADATA_FORMAT_CONFIGS.items()},
-    **{f"ablation-{name}": factory for name, factory in ABLATION_LADDER.items()},
-}
+#: Compatibility views over :data:`CONFIGS`.  ``ALL_CONFIGS`` maps the
+#: plain (nullary) configurations to their builders; parameterised builders
+#: live in ``PARAMETERISED_CONFIGS``.  Both are *live* — they reflect
+#: runtime registrations — and exist so older call sites keep working; new
+#: code should use :data:`CONFIGS` directly.
+ALL_CONFIGS: Mapping[str, ConfigFactory] = _RegistryView(CONFIGS, parameterised=False)
+PARAMETERISED_CONFIGS: Mapping[str, Callable[..., list[Prefetcher]]] = _RegistryView(
+    CONFIGS, parameterised=True
+)
 
 
 def available_configurations() -> list[str]:
-    """Every registry configuration name, sorted (parameterised excluded)."""
+    """Every configuration name, sorted — parameterised entries included."""
 
-    return sorted(ALL_CONFIGS)
+    return CONFIGS.names()
+
+
+def configuration_signatures() -> dict[str, str]:
+    """Name → parameter-signature string (``""`` for plain configurations)."""
+
+    return CONFIGS.signatures()
 
 
 def build_prefetchers(
@@ -288,22 +437,11 @@ def build_prefetchers(
 ) -> list[Prefetcher]:
     """Build the prefetcher stack for a named configuration.
 
-    Plain registry configurations (:data:`ALL_CONFIGS`) take no parameters;
-    parameterised ones (:data:`PARAMETERISED_CONFIGS`) receive ``params`` as
-    keyword arguments.  This is the single resolution point both the serial
-    path and pool workers use, so a spec's ``(configuration, config_params)``
-    pair always rebuilds the same stack everywhere.
+    Every configuration uniformly accepts a (possibly empty) ``params``
+    mapping; plain configurations reject non-empty parameters.  This is the
+    single resolution point both the serial path and pool workers use, so a
+    spec's ``(configuration, config_params)`` pair always rebuilds the same
+    stack everywhere.
     """
 
-    factory = ALL_CONFIGS.get(name)
-    if factory is not None:
-        if params:
-            raise ValueError(f"configuration {name!r} takes no parameters")
-        return factory(system)
-    builder = PARAMETERISED_CONFIGS.get(name)
-    if builder is not None:
-        return builder(system, **dict(params or {}))
-    raise ValueError(
-        f"unknown configuration {name!r}; available: "
-        f"{available_configurations() + sorted(PARAMETERISED_CONFIGS)}"
-    )
+    return CONFIGS.resolve(name, system, params)

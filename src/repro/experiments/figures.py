@@ -1,484 +1,181 @@
 """Ready-to-run reproductions of every figure and table in the evaluation.
 
-Each ``figure_N`` function *declares* the full (workload × configuration)
-matrix the paper's figure plots — the single-core figures 10-15 as entries
-in :data:`MATRIX_FIGURES` — and submits it in one batch through
-:class:`~repro.experiments.runner.ExperimentRunner`, which turns every cell
-into a :class:`~repro.experiments.jobs.RunSpec`, replays completed cells
-from the persistent :class:`~repro.experiments.store.ResultStore`, and runs
-the misses through the :class:`~repro.experiments.parallel.BatchExecutor`
-(in parallel when the runner's ``jobs > 1``).  Because figures 10-15 share
-one underlying matrix, the first figure pays for the simulations — once,
-ever, per code version — and every later figure, process and benchmark
-session replays them from the store.
+Each ``figure_N`` function is a thin wrapper over one registered
+:class:`~repro.experiments.study.Study` declaration in
+:data:`~repro.experiments.studies.STUDIES`: the study *compiles* to a batch
+of :class:`~repro.experiments.jobs.RunSpec` /
+:class:`~repro.experiments.jobs.MultiProgramSpec` values, the
+:class:`~repro.experiments.runner.ExperimentRunner` submits the batch
+through the :class:`~repro.experiments.parallel.BatchExecutor` (replaying
+completed cells from the persistent
+:class:`~repro.experiments.store.ResultStore`, running misses in parallel
+when ``jobs > 1``), and the study's reducer turns the results into the
+figure's table.  Because figures 10-15 declare overlapping matrices, the
+first figure pays for the simulations — once, ever, per code version — and
+every later figure, process and benchmark session replays them from the
+store.
 
-*Every* simulation flows through that path, not just the single-core
-matrices: figure 16's multiprogrammed pairs are declared as
-:class:`~repro.experiments.jobs.MultiProgramSpec` batches, and the section
-3.3 replacement study runs as parameterised registry configurations whose
-``max_entries`` cap is folded into each spec's store key.  A warm store
-therefore re-executes nothing anywhere in the harness.
+*Every* simulation flows through that path: figure 16's multiprogrammed
+pairs compile to :class:`~repro.experiments.jobs.MultiProgramSpec` batches,
+and the section 3.3 replacement study runs as parameterised registry
+configurations whose ``max_entries`` cap is folded into each spec's store
+key.  A warm store therefore re-executes nothing anywhere in the harness.
 
 The reduced metric lands in a :class:`FigureResult` holding the numeric
 table plus a rendered text version.  The benchmark modules under
 ``benchmarks/`` call these functions (one per figure) and print the rendered
 tables, which is the reproduction's equivalent of regenerating the paper's
-plots.
+plots.  New scenarios should not add functions here — declare a
+:class:`~repro.experiments.study.Study` (or override an existing one from
+the ``repro study`` CLI) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.analysis.metrics import add_geomean_row, geomean
-from repro.analysis.report import render_figure
-from repro.core.config import TriangelConfig, total_dedicated_storage_bytes, triangel_structure_sizes
-from repro.experiments.configs import (
-    ABLATION_LADDER,
-    ENERGY_SERIES,
-    MAIN_SERIES,
-    METADATA_FORMAT_CONFIGS,
-    MULTIPROGRAM_SERIES,
-    REPLACEMENT_POLICIES,
-)
+from repro.core.config import TriangelConfig
 from repro.experiments.runner import ExperimentRunner
-from repro.sim.config import SystemConfig
-from repro.workloads.registry import (
-    GRAPH500_WORKLOADS,
-    MULTIPROGRAM_PAIRS,
-    SPEC_WORKLOADS,
+from repro.experiments.studies import (
+    STUDIES,
+    main_matrix_specs,
+    structure_sizes_result,
+    system_config_result,
 )
+from repro.experiments.study import FigureResult, render_result
+from repro.sim.config import SystemConfig
 
-
-@dataclass
-class FigureResult:
-    """The reproduced data for one figure or table."""
-
-    figure: str
-    title: str
-    table: dict[str, dict[str, float]]
-    columns: list[str]
-    rendered: str = ""
-    notes: str = ""
-    extras: dict = field(default_factory=dict)
-
-    def geomean_row(self) -> dict[str, float]:
-        """The summary (geomean) row of the table, if the figure has one."""
-
-        return self.table.get("geomean", {})
-
-
-def _render(result: FigureResult) -> FigureResult:
-    result.rendered = render_figure(
-        f"{result.figure}: {result.title}",
-        result.table,
-        result.columns,
-        note=result.notes or None,
-    )
-    return result
-
-
-def _default_runner(runner: ExperimentRunner | None) -> ExperimentRunner:
-    return runner or ExperimentRunner()
-
-
-# ---------------------------------------------------------------------------
-# Figures 10-15: the main single-core matrix through different metrics
-# ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class MatrixFigureSpec:
-    """Declaration of one single-core matrix figure: its series and metric."""
-
-    figure: str
-    title: str
-    metric: str
-    series: tuple[str, ...]
-    notes: str = ""
-
-
-#: The declared matrices of figures 10-15.  Each figure's cells are
-#: (SPEC_WORKLOADS × series) plus the baseline column; the runner submits
-#: the whole matrix as one batch to the executor/store.
-MATRIX_FIGURES: dict[str, MatrixFigureSpec] = {
-    "fig10": MatrixFigureSpec(
-        "Figure 10",
-        "Speedup over stride-only baseline (higher is better)",
-        "speedup",
-        MAIN_SERIES,
-        notes="Paper geomeans: Triage 1.093, Triage-Deg4 1.142, Triage-Deg4-Look2 1.166, "
-        "Triangel 1.264, Triangel-Bloom 1.261.",
-    ),
-    "fig11": MatrixFigureSpec(
-        "Figure 11",
-        "Normalised DRAM traffic (lower is better)",
-        "dram_traffic",
-        MAIN_SERIES,
-        notes="Paper geomeans: Triage ~1.285, Triage-Deg4 ~1.438, Triangel ~1.10, "
-        "Triangel-Bloom ~1.146.",
-    ),
-    "fig12": MatrixFigureSpec(
-        "Figure 12",
-        "Temporal-prefetch accuracy (higher is better)",
-        "accuracy",
-        MAIN_SERIES,
-        notes="Paper shape: Triangel is the most accurate; Triage-Deg4 is more accurate "
-        "than Triage by ratio but issues far more prefetches.",
-    ),
-    "fig13": MatrixFigureSpec(
-        "Figure 13",
-        "Coverage of baseline L2 demand misses (higher is better)",
-        "coverage",
-        MAIN_SERIES,
-        notes="Paper shape: Triangel declines to prefetch poor streams (Astar, Soplex), "
-        "trading coverage there for accuracy and traffic.",
-    ),
-    "fig14": MatrixFigureSpec(
-        "Figure 14",
-        "Normalised L3 accesses incl. Markov metadata (lower is better)",
-        "l3_accesses",
-        ENERGY_SERIES,
-        notes="Paper shape: Triage-Deg4 exceeds 5x; Triangel stays near Triage-Deg1 even "
-        "at degree 4 thanks to filtering and the Metadata Reuse Buffer.",
-    ),
-    "fig15": MatrixFigureSpec(
-        "Figure 15",
-        "Normalised DRAM+L3 dynamic energy (lower is better)",
-        "energy",
-        ENERGY_SERIES,
-        notes="Paper geomeans: Triangel ~1.14, Triangel-Bloom ~1.19, Triage ~1.36, "
-        "Triage-Deg4 ~1.60.",
-    ),
-}
-
-
-def main_matrix_specs(runner: ExperimentRunner):
-    """Every RunSpec figures 10-15 need (the union of the declared matrices).
-
-    Submitting this list through the runner's executor warms the store for
-    all six figures in a single deduplicated, parallelisable batch.
-    """
-
-    configurations = ["baseline"] + [
-        name
-        for spec in MATRIX_FIGURES.values()
-        for name in spec.series
-    ]
-    seen = dict.fromkeys(configurations)
-    return [
-        runner.spec_for(workload, configuration)
-        for workload in SPEC_WORKLOADS
-        for configuration in seen
-    ]
-
-
-def _matrix_figure(
-    runner: ExperimentRunner | None, spec: MatrixFigureSpec
-) -> FigureResult:
-    runner = _default_runner(runner)
-    table = runner.normalized_matrix(SPEC_WORKLOADS, list(spec.series), spec.metric)
-    return _render(
-        FigureResult(
-            figure=spec.figure,
-            title=spec.title,
-            table=table,
-            columns=list(spec.series),
-            notes=spec.notes,
-        )
-    )
+__all__ = [
+    "FigureResult",
+    "main_matrix_specs",
+    "figure_10_speedup",
+    "figure_11_dram_traffic",
+    "figure_12_accuracy",
+    "figure_13_coverage",
+    "figure_14_l3_traffic",
+    "figure_15_energy",
+    "figure_16_multiprogram",
+    "figure_17_graph500",
+    "figure_18_metadata_formats",
+    "figure_19_lut_accuracy",
+    "figure_20_ablation",
+    "table_1_structure_sizes",
+    "table_2_system_config",
+    "replacement_study",
+]
 
 
 def figure_10_speedup(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 10: speedup over the stride-only baseline."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig10"])
+    return STUDIES.run("fig10", runner)
 
 
 def figure_11_dram_traffic(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 11: normalised DRAM traffic (lower is better)."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig11"])
+    return STUDIES.run("fig11", runner)
 
 
 def figure_12_accuracy(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 12: prefetch accuracy (prefetched lines used before L2 eviction)."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig12"])
+    return STUDIES.run("fig12", runner)
 
 
 def figure_13_coverage(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 13: coverage of baseline L2 demand misses."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig13"])
+    return STUDIES.run("fig13", runner)
 
 
 def figure_14_l3_traffic(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 14: normalised L3 accesses including Markov-table accesses."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig14"])
+    return STUDIES.run("fig14", runner)
 
 
 def figure_15_energy(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 15: normalised DRAM+L3 dynamic energy (25:1 weighting)."""
 
-    return _matrix_figure(runner, MATRIX_FIGURES["fig15"])
+    return STUDIES.run("fig15", runner)
 
 
-# ---------------------------------------------------------------------------
-# Figure 16: multiprogrammed pairs
-# ---------------------------------------------------------------------------
+#: Sentinel distinguishing "caller passed nothing" from an explicit value,
+#: so the wrapper's default can never drift from the fig16 declaration's.
+_UNSET = object()
+
+
 def figure_16_multiprogram(
     runner: ExperimentRunner | None = None,
-    max_accesses_per_core: int | None = 30_000,
+    max_accesses_per_core=_UNSET,
 ) -> FigureResult:
     """Figure 16: speedup of workload pairs sharing the L3 and DRAM.
 
-    Every (pair × configuration) run — baseline included — is declared as a
-    :class:`~repro.experiments.jobs.MultiProgramSpec` and submitted as one
-    batch, so the runs dedupe, parallelise under ``jobs > 1``, and replay
-    from the persistent store on later invocations.
+    ``max_accesses_per_core`` defaults to the registered study's declared
+    per-core cap; pass an int (or ``None`` for uncapped) to override it.
     """
 
-    runner = _default_runner(runner)
-    series = ["baseline"] + list(MULTIPROGRAM_SERIES)
-    cell_specs = {
-        (pair, configuration): runner.multiprogram_spec_for(
-            pair, configuration, max_accesses_per_core
-        )
-        for pair in MULTIPROGRAM_PAIRS
-        for configuration in series
-    }
-    batch = runner.submit(list(cell_specs.values()))
-
-    table: dict[str, dict[str, float]] = {}
-    for pair in MULTIPROGRAM_PAIRS:
-        label = f"{pair[0]} & {pair[1]}"
-        baseline = batch[cell_specs[(pair, "baseline")]]
-        table[label] = {}
-        for configuration in MULTIPROGRAM_SERIES:
-            result = batch[cell_specs[(pair, configuration)]]
-            speedups = result.speedups_relative_to(baseline)
-            table[label][configuration] = geomean(speedups)
-    table = add_geomean_row(table)
-    return _render(
-        FigureResult(
-            figure="Figure 16",
-            title="Multiprogrammed-pair speedup (shared L3, Markov partition and DRAM)",
-            table=table,
-            columns=list(MULTIPROGRAM_SERIES),
-            notes="Paper shape: Triangel holds its gains; Triage slips and Triage-Deg4's "
-            "aggression backfires under bandwidth constraint.",
-        )
-    )
+    study = STUDIES.get("fig16")
+    if (
+        max_accesses_per_core is not _UNSET
+        and max_accesses_per_core != study.max_accesses_per_core
+    ):
+        # Route through the validated override hook (the single mutation
+        # path), not a bare dataclasses.replace.
+        raw = "none" if max_accesses_per_core is None else str(max_accesses_per_core)
+        study = study.overridden(assignments={"max_accesses_per_core": raw})
+    return study.run(runner)
 
 
-# ---------------------------------------------------------------------------
-# Figure 17: Graph500 adversarial workloads
-# ---------------------------------------------------------------------------
 def figure_17_graph500(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 17: slowdown and DRAM traffic on Graph500 search."""
 
-    runner = _default_runner(runner)
-    series = list(MULTIPROGRAM_SERIES)
-    results = runner.run_matrix(list(GRAPH500_WORKLOADS), ["baseline"] + series)
-    table: dict[str, dict[str, float]] = {}
-    for workload in GRAPH500_WORKLOADS:
-        baseline = results[workload]["baseline"]
-        slowdown_row = {}
-        traffic_row = {}
-        for configuration in series:
-            stats = results[workload][configuration]
-            speedup = stats.speedup_relative_to(baseline)
-            slowdown_row[configuration] = 1.0 / speedup if speedup > 0 else float("inf")
-            traffic_row[configuration] = stats.dram_traffic_relative_to(baseline)
-        table[f"{workload} slowdown"] = slowdown_row
-        table[f"{workload} dram"] = traffic_row
-    return _render(
-        FigureResult(
-            figure="Figure 17",
-            title="Graph500 search: slowdown and DRAM traffic (lower is better)",
-            table=table,
-            columns=series,
-            notes="Paper shape: Triage configurations slow down markedly and inflate DRAM "
-            "traffic; Triangel's Set Dueller keeps both near 1.0.",
-        )
-    )
-
-
-# ---------------------------------------------------------------------------
-# Figures 18/19: Markov metadata format study
-# ---------------------------------------------------------------------------
-def _relabeled(table: dict, mapping: dict[str, str]) -> dict:
-    """Rename each row's configuration keys (registry name → display name)."""
-
-    return {
-        row: {mapping.get(name, name): value for name, value in per_config.items()}
-        for row, per_config in table.items()
-    }
+    return STUDIES.run("fig17", runner)
 
 
 def figure_18_metadata_formats(runner: ExperimentRunner | None = None) -> FigureResult:
-    """Figure 18: Triage speedup under different Markov-entry formats.
+    """Figure 18: Triage speedup under different Markov-entry formats."""
 
-    The format variants are registry configurations (``triage-format-*``),
-    so the whole matrix goes through the executor/store like figures 10-15;
-    only the column labels are shortened back to the paper's names.
-    """
-
-    runner = _default_runner(runner)
-    registry = {f"triage-format-{name}": name for name in METADATA_FORMAT_CONFIGS}
-    table = _relabeled(
-        runner.normalized_matrix(SPEC_WORKLOADS, list(registry), "speedup"), registry
-    )
-    return _render(
-        FigureResult(
-            figure="Figure 18",
-            title="Triage speedup by Markov metadata format",
-            table=table,
-            columns=list(registry.values()),
-            notes="Paper shape: 42-bit > 32-bit-LUT variants; the 10-bit-offset "
-            "(fragmented) variant drops sharply; 16-way LUT ≈ fully-associative LUT.",
-        )
-    )
+    return STUDIES.run("fig18", runner)
 
 
 def figure_19_lut_accuracy(runner: ExperimentRunner | None = None) -> FigureResult:
     """Figure 19: Triage accuracy with 11-bit vs 10-bit LUT offsets."""
 
-    runner = _default_runner(runner)
-    registry = {
-        "triage-format-32-bit-LUT-16-way": "11-bit",
-        "triage-format-32-bit-LUT-16-way-10b-offset": "10-bit",
-    }
-    results = runner.run_matrix(list(SPEC_WORKLOADS), list(registry))
-    table = {
-        workload: {
-            registry[name]: stats.accuracy for name, stats in per_config.items()
-        }
-        for workload, per_config in results.items()
-    }
-    table = add_geomean_row(table)
-    return _render(
-        FigureResult(
-            figure="Figure 19",
-            title="Triage LUT accuracy with 11-bit vs 10-bit offsets",
-            table=table,
-            columns=list(registry.values()),
-            notes="Paper shape: accuracy is workload-dependent and collapses further with "
-            "the fragmented 10-bit offset; Triangel avoids the LUT entirely.",
-        )
-    )
+    return STUDIES.run("fig19", runner)
 
 
-# ---------------------------------------------------------------------------
-# Figure 20: ablation ladder
-# ---------------------------------------------------------------------------
 def figure_20_ablation(runner: ExperimentRunner | None = None) -> FigureResult:
-    """Figure 20: progressive addition of Triangel's mechanisms.
+    """Figure 20: progressive addition of Triangel's mechanisms."""
 
-    Like figure 18, the ladder steps live in the registry (``ablation-*``),
-    so both matrices replay from the store after the first run.
-    """
-
-    runner = _default_runner(runner)
-    registry = {f"ablation-{name}": name for name in ABLATION_LADDER}
-    speedups = _relabeled(
-        runner.normalized_matrix(SPEC_WORKLOADS, list(registry), "speedup"), registry
-    )
-    traffic = _relabeled(
-        runner.normalized_matrix(SPEC_WORKLOADS, list(registry), "dram_traffic"),
-        registry,
-    )
-    table: dict[str, dict[str, float]] = {}
-    for workload, row in speedups.items():
-        table[f"{workload} speedup"] = row
-    for workload, row in traffic.items():
-        table[f"{workload} dram"] = row
-    return _render(
-        FigureResult(
-            figure="Figure 20",
-            title="Ablation: progressively adding Triangel's mechanisms to Triage-Deg4",
-            table=table,
-            columns=list(registry.values()),
-            notes="Paper shape: BasePatternConf roughly halves the DRAM overhead; the Set "
-            "Dueller cuts traffic further; HighPatternConf trades a little speed for traffic.",
-            extras={"speedup": speedups, "dram_traffic": traffic},
-        )
-    )
+    return STUDIES.run("fig20", runner)
 
 
-# ---------------------------------------------------------------------------
-# Tables 1 and 2
-# ---------------------------------------------------------------------------
 def table_1_structure_sizes(config: TriangelConfig | None = None) -> FigureResult:
     """Table 1: Triangel's dedicated-storage budget."""
 
-    sizes = triangel_structure_sizes(config)
-    table = {
-        size.name: {"entries": float(size.entries), "bytes": size.bytes} for size in sizes
-    }
-    total = total_dedicated_storage_bytes(config)
-    table["Total"] = {"entries": float("nan"), "bytes": total}
-    result = FigureResult(
-        figure="Table 1",
-        title="Triangel dedicated storage (paper total: ~17.6 KiB)",
-        table=table,
-        columns=["entries", "bytes"],
-        notes=f"Total dedicated storage: {total / 1024:.1f} KiB",
-    )
-    return _render(result)
+    if config is None:
+        return STUDIES.run("table1")
+    return render_result(structure_sizes_result(config))
 
 
 def table_2_system_config(system: SystemConfig | None = None) -> FigureResult:
     """Table 2: the simulated core and memory configuration."""
 
-    system = system or SystemConfig.paper()
-    description = system.describe()
-    table = {key: {"value": float("nan")} for key in description}
-    result = FigureResult(
-        figure="Table 2",
-        title=f"System configuration ({system.name})",
-        table=table,
-        columns=["value"],
-        extras={"description": description},
-    )
-    lines = [f"Table 2: system configuration ({system.name})", "=" * 40]
-    for key, value in description.items():
-        lines.append(f"{key:>14}: {value}")
-    result.rendered = "\n".join(lines)
-    return result
+    if system is None:
+        return STUDIES.run("table2")
+    return system_config_result(system)
 
 
-# ---------------------------------------------------------------------------
-# Section 3.3 replacement study
-# ---------------------------------------------------------------------------
 def replacement_study(
     runner: ExperimentRunner | None = None, max_entries: int | None = 1024
 ) -> FigureResult:
     """Section 3.3: Markov replacement policy under constrained capacity.
 
-    The policy variants are parameterised registry configurations
-    (``triage-lru`` / ``triage-srrip`` / ``triage-hawkeye`` in
-    :data:`~repro.experiments.configs.PARAMETERISED_CONFIGS`), and the
+    The policy variants are parameterised registry configurations whose
     ``max_entries`` cap travels in each spec's ``config_params`` — so the
     whole study persists in the store, differently-capped variants occupy
     distinct entries, and runs parallelise under ``jobs > 1``.
     """
 
-    runner = _default_runner(runner)
-    series = [f"triage-{policy}" for policy in REPLACEMENT_POLICIES]
-    table = runner.normalized_matrix(
-        SPEC_WORKLOADS,
-        series,
-        "speedup",
-        config_params={"max_entries": max_entries},
-    )
-    return _render(
-        FigureResult(
-            figure="Section 3.3",
-            title=f"Markov replacement study (capacity capped at {max_entries} entries)",
-            table=table,
-            columns=series,
-            notes="Paper observation: HawkEye beats LRU/RRIP only when capacity is "
-            "artificially constrained.",
-        )
-    )
+    study = STUDIES.get("replacement-study").with_config_params(max_entries=max_entries)
+    return study.run(runner)

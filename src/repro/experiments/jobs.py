@@ -285,17 +285,16 @@ def clear_trace_memo() -> None:
     _TRACE_MEMO.clear()
 
 
-def execute_spec(spec: RunSpec, trace=None, factory=None) -> SimulationStats:
+def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
     """Run the simulation a spec describes and return its statistics.
 
     This is the worker function of :mod:`repro.experiments.parallel`: it
     builds everything — trace, hierarchy, prefetchers, timing model — from
-    the spec alone, so it can run in a fresh process.  ``trace`` lets the
-    in-process serial path reuse an already-generated trace, and ``factory``
-    substitutes a call-time prefetcher factory for the registry lookup (the
-    runner's extra-factory path; in-process only, since factories don't
-    pickle).  Either way this is the *single* place a spec becomes a run, so
-    registry and extra-factory results can never diverge.
+    the spec alone, so it can run in a fresh process.  ``trace`` lets an
+    in-process caller reuse an already-generated trace.  Either way this is
+    the *single* place a spec becomes a run — every prefetcher stack
+    resolves through the configuration registry — so serial and pool
+    results can never diverge.
     """
 
     # Imported here (not at module top) to keep spec hashing importable
@@ -308,12 +307,9 @@ def execute_spec(spec: RunSpec, trace=None, factory=None) -> SimulationStats:
     system = spec.system_config()
     if trace is None:
         trace = _trace_for_spec(spec)
-    if factory is not None:
-        prefetchers = factory(system)
-    else:
-        prefetchers = build_prefetchers(
-            spec.configuration, system, params=spec.config_params_dict() or None
-        )
+    prefetchers = build_prefetchers(
+        spec.configuration, system, params=spec.config_params_dict() or None
+    )
     simulator = Simulator(
         system.build_hierarchy(),
         prefetchers,

@@ -19,34 +19,25 @@ Execution flows through three layers (spec → executor → store):
   all plot the same underlying runs — share work, and *later processes*
   (benchmark sessions, CLI invocations) skip completed simulations entirely.
 
-Parameterised registry configurations (the replacement study's
-``max_entries`` cap; see
-:data:`~repro.experiments.configs.PARAMETERISED_CONFIGS`) fold their
-call-time parameters into the spec, so their runs persist and parallelise
-like any other.  Only configurations supplied as anonymous call-time
-``extra_factories`` cannot be rebuilt from a spec in a worker process — a
-factory's display name alone does not identify its parameters — so those
-run in-process and are memoised for the life of the process only.  Traces
-are memoised per process too, since generation is deterministic and cheap
-relative to simulation.
+Every configuration is resolved through the unified
+:data:`~repro.experiments.configs.CONFIGS` registry, in which each entry
+uniformly accepts (possibly empty) call-time parameters; the parameters
+fold into the spec, so *every* run — the replacement study's capped
+variants included — persists and parallelises identically.  Traces are
+memoised per process, since generation is deterministic and cheap relative
+to simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
-from weakref import WeakKeyDictionary
 
 from repro.analysis.metrics import add_geomean_row, normalize_against_baseline
-from repro.experiments.configs import (
-    ALL_CONFIGS,
-    PARAMETERISED_CONFIGS,
-    ConfigFactory,
-)
+from repro.experiments.configs import CONFIGS
 from repro.experiments.jobs import (
     MultiProgramSpec,
     RunSpec,
-    execute_spec,
     trace_for_workload,
 )
 from repro.experiments.jobs import clear_trace_memo as jobs_clear_trace_memo
@@ -58,21 +49,10 @@ from repro.sim.stats import SimulationStats
 from repro.workloads.registry import generate_workload
 from repro.workloads.trace import Trace
 
-# Process-local memo for runs of call-time extra factories, keyed by the
-# factory object itself (weakly, so dead factories free their entries): a
-# factory's display name does not identify its parameters, so the spec alone
-# must never key a cache two differently-parameterised factories can share.
-# The trace memo lives in :mod:`repro.experiments.jobs`, shared with the
-# executor's worker path.
-_EXTRA_RUN_CACHE: "WeakKeyDictionary[ConfigFactory, dict[RunSpec, SimulationStats]]" = (
-    WeakKeyDictionary()
-)
-
 
 def clear_caches() -> None:
-    """Drop the process-local memos *and* the persistent default store."""
+    """Drop the process-local trace memo *and* the persistent default store."""
 
-    _EXTRA_RUN_CACHE.clear()
     jobs_clear_trace_memo()
     default_store().clear()
 
@@ -128,7 +108,7 @@ class ExperimentRunner:
     ) -> MultiProgramSpec:
         """The immutable spec describing one multiprogrammed run."""
 
-        if configuration not in ALL_CONFIGS:
+        if configuration not in CONFIGS:
             raise ValueError(f"unknown configuration {configuration!r}")
         return MultiProgramSpec.create(
             workloads=workloads,
@@ -166,85 +146,51 @@ class ExperimentRunner:
         self,
         workload: str,
         configuration: str,
-        extra_factory: ConfigFactory | None = None,
         config_params: Mapping | None = None,
     ) -> SimulationStats:
         """Run one workload under one configuration and return its stats.
 
-        ``config_params`` parameterises a
-        :data:`~repro.experiments.configs.PARAMETERISED_CONFIGS` entry; such
-        runs flow through the executor and persist like registry ones.
-        ``extra_factory`` allows running an anonymous call-time factory
-        instead; those runs stay in-process and are never persisted, because
-        a factory cannot be rebuilt from the spec in a worker process.
+        ``config_params`` parameterises the configuration's builder (for
+        registry entries that take parameters, e.g. the replacement study's
+        ``max_entries``); such runs flow through the executor and persist
+        like any other.
         """
 
         spec = self.spec_for(workload, configuration, config_params)
-        if extra_factory is not None:
-            return self._run_extra(spec, extra_factory)
         return self.submit([spec])[spec]
-
-    def _run_extra(self, spec: RunSpec, factory: ConfigFactory) -> SimulationStats:
-        """In-process run of a call-time-parameterised configuration."""
-
-        per_factory = _EXTRA_RUN_CACHE.setdefault(factory, {}) if self.use_cache else {}
-        if spec in per_factory:
-            return per_factory[spec]
-        stats = execute_spec(spec, trace=self.trace_for(spec.workload), factory=factory)
-        if self.use_cache:
-            per_factory[spec] = stats
-        return stats
 
     # -- matrices -------------------------------------------------------------
     def run_matrix(
         self,
         workloads: Sequence[str],
         configurations: Sequence[str],
-        extra_factories: Mapping[str, ConfigFactory] | None = None,
         config_params: Mapping | None = None,
     ) -> dict[str, dict[str, SimulationStats]]:
         """Run every (workload × configuration) pair; return stats per cell.
 
-        The full matrix of registry configurations — plain and parameterised
-        alike — is declared up front and submitted as one batch, so the
-        executor can dedupe it, replay completed cells from the store, and
-        run the rest in parallel.  ``config_params`` applies to every
-        parameterised configuration in ``configurations`` (plain registry
-        configurations ignore it); ``extra_factories`` entries bypass the
-        batch and run in-process.
+        The full matrix is declared up front and submitted as one batch, so
+        the executor can dedupe it, replay completed cells from the store,
+        and run the rest in parallel.  ``config_params`` applies to every
+        configuration in ``configurations`` that takes parameters (plain
+        registry configurations ignore it).
         """
 
-        extra_factories = dict(extra_factories or {})
         cell_specs: dict[tuple[str, str], RunSpec] = {}
         for configuration in configurations:
-            if configuration in extra_factories:
-                continue
-            if configuration in ALL_CONFIGS:
-                params = None
-            elif configuration in PARAMETERISED_CONFIGS:
-                params = config_params
-            else:
-                raise ValueError(f"unknown configuration {configuration!r}")
+            params = config_params if CONFIGS.takes_params(configuration) else None
             for workload in workloads:
                 cell_specs[(workload, configuration)] = self.spec_for(
                     workload, configuration, params
                 )
         batch = self._executor().run(list(cell_specs.values()))
 
-        results: dict[str, dict[str, SimulationStats]] = {}
-        for workload in workloads:
-            results[workload] = {}
-            for configuration in configurations:
-                factory = extra_factories.get(configuration)
-                if factory is not None:
-                    results[workload][configuration] = self.run(
-                        workload, configuration, extra_factory=factory
-                    )
-                else:
-                    results[workload][configuration] = batch[
-                        cell_specs[(workload, configuration)]
-                    ]
-        return results
+        return {
+            workload: {
+                configuration: batch[cell_specs[(workload, configuration)]]
+                for configuration in configurations
+            }
+            for workload in workloads
+        }
 
     def normalized_matrix(
         self,
@@ -253,7 +199,6 @@ class ExperimentRunner:
         metric: str,
         baseline_config: str = "baseline",
         include_geomean: bool = True,
-        extra_factories: Mapping[str, ConfigFactory] | None = None,
         config_params: Mapping | None = None,
     ) -> dict[str, dict[str, float]]:
         """Run the matrix and reduce it to one normalised metric per cell."""
@@ -261,7 +206,7 @@ class ExperimentRunner:
         run_configs = list(configurations)
         if baseline_config not in run_configs:
             run_configs = [baseline_config] + run_configs
-        results = self.run_matrix(workloads, run_configs, extra_factories, config_params)
+        results = self.run_matrix(workloads, run_configs, config_params)
         table = normalize_against_baseline(results, metric, baseline_config)
         for per_config in table.values():
             per_config.pop(baseline_config, None)

@@ -82,15 +82,29 @@ class SystemConfig:
             raise ValueError("scale must be positive")
 
         def scaled_size(size: int) -> int:
-            scaled = int(size * scale)
-            # Keep sizes multiples of assoc*line for valid geometry.
-            return max(1024, scaled)
+            return max(1024, int(size * scale))
 
         hierarchy = HierarchyParams(
             l1_size=scaled_size(4 * 1024),
             l2_size=scaled_size(16 * 1024),
             l3_size=scaled_size(64 * 1024),
         )
+        # Cache construction requires every size to be a multiple of
+        # assoc × line; reject bad scales here, with the scale named, instead
+        # of deep inside the first simulation that builds the hierarchy.
+        for level, size, assoc in (
+            ("L1", hierarchy.l1_size, hierarchy.l1_assoc),
+            ("L2", hierarchy.l2_size, hierarchy.l2_assoc),
+            ("L3", hierarchy.l3_size, hierarchy.l3_assoc),
+        ):
+            multiple = assoc * hierarchy.line_size
+            if size % multiple != 0:
+                raise ValueError(
+                    f"scale {scale:g} gives an invalid {level} geometry: size "
+                    f"{size} is not a multiple of assoc*line ({assoc}*"
+                    f"{hierarchy.line_size}={multiple}); choose a scale that "
+                    f"keeps every cache size a multiple of its assoc*line"
+                )
         return cls(name=f"sim-scale-x{scale:g}", hierarchy=hierarchy)
 
     @classmethod
@@ -172,3 +186,41 @@ class SystemConfig:
             "Memory": f"LPDDR5-like, {p.dram_latency:.0f}-cycle latency, {p.dram_occupancy:.0f}-cycle occupancy",
             "Energy model": f"DRAM access = {p.dram_energy_per_access:g}, L3 access = {p.l3_energy_per_access:g}",
         }
+
+
+# ---------------------------------------------------------------------------
+# Named systems: the system is a first-class experiment axis
+# ---------------------------------------------------------------------------
+def _paper_system(scale: float = 1.0) -> SystemConfig:
+    """The table 2 system; it is fixed-size, so only ``scale=1.0`` is valid."""
+
+    if scale != 1.0:
+        raise ValueError(
+            "the 'paper' system is fixed at the table 2 sizes; "
+            "use the 'sim-scale' system to rescale"
+        )
+    return SystemConfig.paper()
+
+
+#: Named system factories, each accepting a ``scale`` factor.  Studies (and
+#: the ``repro study`` CLI) select their system by name + scale, making the
+#: simulated machine an overridable axis like workloads and configurations.
+SYSTEMS: dict[str, object] = {
+    "sim-scale": SystemConfig.scaled,
+    "paper": _paper_system,
+}
+
+
+def available_systems() -> list[str]:
+    """Every named system, sorted."""
+
+    return sorted(SYSTEMS)
+
+
+def system_for(name: str = "sim-scale", scale: float = 1.0) -> SystemConfig:
+    """Build the named system at the given scale (the study axis resolver)."""
+
+    factory = SYSTEMS.get(name)
+    if factory is None:
+        raise ValueError(f"unknown system {name!r}; available: {available_systems()}")
+    return factory(scale)

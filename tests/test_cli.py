@@ -66,6 +66,190 @@ class TestCommands:
         assert "L3 Cache" in capsys.readouterr().out
 
 
+class TestStudyCommands:
+    def test_study_list_names_every_study(self, capsys):
+        from repro.experiments.studies import STUDIES
+
+        assert main(["study", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in STUDIES.names():
+            assert name in output
+
+    def test_study_describe_shows_axes(self, capsys):
+        assert main(["study", "describe", "fig16"]) == 0
+        output = capsys.readouterr().out
+        assert "multiprogram" in output
+        assert "xalan & omnet" in output
+        assert "batch:" in output
+
+    def test_study_run_with_overrides(self, capsys):
+        clear_caches()
+        code = main(
+            [
+                "study",
+                "run",
+                "replacement-study",
+                "--workloads",
+                "xalan",
+                "--set",
+                "max_entries=64",
+                "--trace-length",
+                "1200",
+                "--max-accesses",
+                "500",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "capacity capped at 64 entries" in output
+        assert "triage-hawkeye" in output
+        assert "xalan" in output
+
+    def test_study_run_name_lists_tolerate_whitespace(self, capsys):
+        clear_caches()
+        code = main(
+            [
+                "study",
+                "run",
+                "fig10",
+                "--workloads",
+                "xalan, mcf",
+                "--configs",
+                " triage ,triangel",
+                "--trace-length",
+                "1200",
+                "--max-accesses",
+                "400",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "xalan" in output and "mcf" in output
+
+    def test_study_run_rejects_empty_name_lists(self, capsys):
+        assert main(["study", "run", "fig10", "--workloads", ", "]) == 2
+        assert "--workloads: no names given" in capsys.readouterr().err
+
+    def test_study_run_rejects_max_accesses_on_multiprogram(self, capsys):
+        assert main(["study", "run", "fig16", "--max-accesses", "500"]) == 2
+        assert "--max-accesses does not apply" in capsys.readouterr().err
+
+    def test_study_run_rejects_non_positive_trace_length(self, capsys):
+        assert main(["study", "run", "fig10", "--trace-length", "0"]) == 2
+        assert "--trace-length must be positive" in capsys.readouterr().err
+
+    def test_validation_errors_exit_cleanly_not_with_tracebacks(self, capsys):
+        """User input problems print one line to stderr and return 2."""
+
+        assert main(["study", "run", "fig10", "--configs", "trianglee"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "unknown configuration" in err
+
+    def test_study_run_analytic(self, capsys):
+        assert main(["study", "run", "table1"]) == 0
+        assert "Training Table" in capsys.readouterr().out
+
+    def test_study_run_requires_name_or_all(self, capsys):
+        assert main(["study", "run"]) == 2
+        assert "study name or --all" in capsys.readouterr().err
+
+    def test_study_run_all_rejects_axis_overrides(self, capsys):
+        assert main(["study", "run", "--all", "--set", "scale=0.5"]) == 2
+        assert "does not take axis overrides" in capsys.readouterr().err
+
+    def test_study_run_all_rejects_a_study_name(self, capsys):
+        assert main(["study", "run", "fig10", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_study_run_all_rejects_truncation_flags(self, capsys):
+        assert main(["study", "run", "--all", "--max-accesses", "500"]) == 2
+        assert "truncation flags" in capsys.readouterr().err
+        assert main(["study", "run", "--all", "--trace-length", "1000"]) == 2
+        assert "truncation flags" in capsys.readouterr().err
+
+    def test_study_run_no_cache_executes_each_cell_once(self, capsys):
+        """--no-cache must not double-simulate (no store to warm up front)."""
+
+        from unittest.mock import patch
+
+        from repro.experiments.jobs import execute_spec
+
+        calls = []
+
+        def counting(spec, *args, **kwargs):
+            calls.append(spec)
+            return execute_spec(spec, *args, **kwargs)
+
+        with patch("repro.experiments.parallel.execute", side_effect=counting):
+            code = main(
+                [
+                    "study",
+                    "run",
+                    "fig10",
+                    "--workloads",
+                    "xalan",
+                    "--configs",
+                    "triangel",
+                    "--trace-length",
+                    "1200",
+                    "--max-accesses",
+                    "400",
+                    "--no-cache",
+                ]
+            )
+        assert code == 0
+        assert "Figure 10" in capsys.readouterr().out
+        assert len(calls) == len(set(calls)) == 2  # baseline + triangel, once each
+
+    def test_study_run_no_cache_two_metric_study_executes_each_cell_once(self, capsys):
+        """fig20's two-metric reduction must share one submission per cell."""
+
+        from unittest.mock import patch
+
+        from repro.experiments.jobs import execute_spec
+
+        calls = []
+
+        def counting(spec, *args, **kwargs):
+            calls.append(spec)
+            return execute_spec(spec, *args, **kwargs)
+
+        with patch("repro.experiments.parallel.execute", side_effect=counting):
+            code = main(
+                [
+                    "study",
+                    "run",
+                    "fig20",
+                    "--workloads",
+                    "xalan",
+                    "--configs",
+                    "ablation-Triage-Deg-4",
+                    "--trace-length",
+                    "1200",
+                    "--max-accesses",
+                    "400",
+                    "--no-cache",
+                ]
+            )
+        assert code == 0
+        assert "Figure 20" in capsys.readouterr().out
+        assert len(calls) == len(set(calls)) == 2  # baseline + one ladder step
+
+    def test_unknown_study_rejected(self, capsys):
+        assert main(["study", "describe", "fig99"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_list_shows_parameter_signatures(self, capsys):
+        """Acceptance: parameterised configs are visible with signatures."""
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "triage-lru(max_entries=1024)" in output
+        assert "Studies:" in output
+        assert "replacement-study" in output
+
+
 class TestExecutionOptions:
     def test_jobs_and_cache_dir_accepted(self, tmp_path):
         args = build_parser().parse_args(

@@ -47,3 +47,20 @@ class TestDocs:
         text = (ROOT / "README.md").read_text()
         assert "docs/architecture.md" in text
         assert "docs/reproducing-figures.md" in text
+
+    def test_studies_registry_in_sync_with_guide(self):
+        """Both directions of check_docs.py's STUDIES cross-check hold.
+
+        Calls the checker's own ``check_studies`` (rather than duplicating
+        its regex here), so the test and CI can never enforce different
+        rules.
+        """
+
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_docs", ROOT / "tools" / "check_docs.py"
+        )
+        check_docs = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check_docs)
+        assert check_docs.check_studies(ROOT) == []

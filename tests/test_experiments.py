@@ -12,11 +12,13 @@ from repro.experiments import figures
 from repro.experiments.configs import (
     ABLATION_LADDER,
     ALL_CONFIGS,
+    CONFIGS,
     EVALUATION_CONFIGS,
     METADATA_FORMAT_CONFIGS,
+    PARAMETERISED_CONFIGS,
     available_configurations,
     build_prefetchers,
-    replacement_study_configs,
+    configuration_signatures,
 )
 from repro.experiments.runner import ExperimentRunner, clear_caches
 from repro.prefetch.stride import StridePrefetcher
@@ -83,10 +85,12 @@ class TestConfigurations:
         assert not first_triangel.config.enable_reuse_conf
         assert not first_triangel.config.use_mrb
 
-    def test_replacement_study_configs(self, small_system):
-        configs = replacement_study_configs(max_entries=64)
-        assert set(configs) == {"triage-lru", "triage-srrip", "triage-hawkeye"}
-        prefetcher = configs["triage-hawkeye"](small_system)[1]
+    def test_replacement_configs_resolve_with_params(self, small_system):
+        expected = {"triage-lru", "triage-srrip", "triage-hawkeye"}
+        assert expected == set(PARAMETERISED_CONFIGS)
+        prefetcher = build_prefetchers(
+            "triage-hawkeye", small_system, params={"max_entries": 64}
+        )[1]
         assert prefetcher.config.markov_replacement == "hawkeye"
         assert prefetcher.config.max_entries_override == 64
 
@@ -94,11 +98,51 @@ class TestConfigurations:
         with pytest.raises(ValueError):
             build_prefetchers("voyager", small_system)
 
-    def test_available_configurations_sorted(self):
+    def test_plain_configuration_rejects_params(self, small_system):
+        with pytest.raises(ValueError, match="takes no parameters"):
+            build_prefetchers("triangel", small_system, params={"max_entries": 64})
+
+    def test_parameterised_configuration_rejects_unknown_params(self, small_system):
+        with pytest.raises(ValueError, match="does not take"):
+            build_prefetchers("triage-lru", small_system, params={"bogus": 1})
+
+    def test_available_configurations_sorted_and_complete(self):
         names = available_configurations()
         assert names == sorted(names)
         assert "triangel" in names and "baseline" in names
-        assert all(name in ALL_CONFIGS for name in names)
+        # The unified listing covers plain and parameterised entries alike.
+        assert "triage-lru" in names and "triage-hawkeye" in names
+        assert all(name in ALL_CONFIGS or name in PARAMETERISED_CONFIGS for name in names)
+        assert set(names) == set(CONFIGS)
+
+    def test_configuration_signatures(self):
+        signatures = configuration_signatures()
+        assert signatures["triangel"] == ""
+        assert signatures["triage-lru"] == "(max_entries=1024)"
+        assert CONFIGS.takes_params("triage-srrip")
+        assert not CONFIGS.takes_params("baseline")
+
+    def test_registry_views_are_live(self, small_system):
+        """Registrations show up in the derived views without re-deriving them."""
+
+        from repro.experiments.configs import ConfigRegistry, _RegistryView, make_triage
+
+        registry = ConfigRegistry()
+        plain = _RegistryView(registry, parameterised=False)
+        parameterised = _RegistryView(registry, parameterised=True)
+        assert "deg2" not in plain and len(plain) == 0
+
+        registry.register("deg2", lambda system: make_triage(system, degree=2))
+        assert "deg2" in plain and "deg2" not in parameterised
+        assert plain["deg2"](small_system)[1].config.degree == 2
+
+        def capped(system, max_entries=8):
+            return make_triage(system, degree=1, max_entries_override=max_entries)
+
+        registry.register("capped", capped)
+        assert "capped" in parameterised and "capped" not in plain
+        with pytest.raises(KeyError):
+            plain["capped"]
 
 
 class TestRunner:

@@ -184,36 +184,27 @@ class TestPersistenceAcrossProcesses:
         assert stats.accesses == 600
 
 
-class TestExtraFactoriesStayInProcess:
-    def test_extra_factory_runs_are_not_persisted(self, tmp_path):
-        from repro.experiments.configs import make_triage
+class TestEveryRunPersists:
+    """The former extra-factories path is gone: every run goes through the store."""
 
+    def test_ablation_registry_runs_persist(self, tmp_path):
         store = ResultStore(tmp_path)
         runner = quick_runner(store=store)
-        factory = lambda system: make_triage(system, degree=2)  # noqa: E731
-        runner.run("xalan", "custom-deg2", extra_factory=factory)
-        assert len(store) == 0  # call-time factories have no stable identity
+        runner.run("xalan", "ablation-Triage-Deg-4")
+        assert len(store) == 1
+        assert store.puts == 1
 
-    def test_extra_factory_runs_are_memoised_in_process(self):
-        from repro.experiments.configs import make_triage
+    def test_parameterised_runs_persist_with_distinct_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        runner.run("xalan", "triage-lru", config_params={"max_entries": 32})
+        runner.run("xalan", "triage-lru", config_params={"max_entries": 64})
+        assert len(store) == 2  # the caps key distinct store entries
+        assert store.puts == 2
 
+    def test_run_rejects_unknown_configuration(self):
         clear_caches()
-        runner = quick_runner()
-        factory = lambda system: make_triage(system, degree=2)  # noqa: E731
-        first = runner.run("xalan", "custom-deg2", extra_factory=factory)
-        second = runner.run("xalan", "custom-deg2", extra_factory=factory)
-        assert first is second
+        import pytest
 
-    def test_same_name_different_factories_do_not_share_results(self):
-        """Two call-time factories under one display name must not collide."""
-
-        from repro.experiments.configs import make_triage
-
-        clear_caches()
-        runner = quick_runner()
-        deg1 = lambda system: make_triage(system, degree=1)  # noqa: E731
-        deg4 = lambda system: make_triage(system, degree=4)  # noqa: E731
-        first = runner.run("xalan", "study", extra_factory=deg1)
-        second = runner.run("xalan", "study", extra_factory=deg4)
-        assert first is not second
-        assert first != second  # degree 1 vs 4 differ (e.g. Markov accesses)
+        with pytest.raises(ValueError, match="unknown configuration"):
+            quick_runner().run_matrix(["xalan"], ["custom-deg2"])

@@ -57,6 +57,55 @@ class TestSystemConfig:
         assert "25" in description["Energy model"]
 
 
+class TestScaleGeometryValidation:
+    """``scaled`` rejects scales whose clamped sizes break assoc×line multiples."""
+
+    @pytest.mark.parametrize("scale", [0.5, 1.0, 2.0, 4.0])
+    def test_valid_scales_build_hierarchies(self, scale):
+        SystemConfig.scaled(scale).build_hierarchy()
+
+    @pytest.mark.parametrize("scale", [0.3, 1.3, 0.9])
+    def test_geometry_breaking_scales_are_rejected(self, scale):
+        with pytest.raises(ValueError, match="not a multiple of assoc\\*line"):
+            SystemConfig.scaled(scale)
+
+    def test_error_names_the_offending_level_and_scale(self):
+        with pytest.raises(ValueError, match="scale 0.3 gives an invalid L1"):
+            SystemConfig.scaled(0.3)
+
+    def test_tiny_scales_clamp_to_a_valid_floor(self):
+        system = SystemConfig.scaled(0.015625)  # 1/64: everything clamps to 1 KiB
+        assert system.hierarchy.l1_size == 1024
+        assert system.hierarchy.l3_size == 1024
+        system.build_hierarchy()
+
+
+class TestSystemsRegistry:
+    def test_available_systems(self):
+        from repro.sim.config import available_systems
+
+        assert available_systems() == ["paper", "sim-scale"]
+
+    def test_system_for_builds_named_systems(self):
+        from repro.sim.config import system_for
+
+        assert system_for().name == "sim-scale-x1"
+        assert system_for("sim-scale", 2.0).name == "sim-scale-x2"
+        assert system_for("paper").name == "paper-scale"
+
+    def test_unknown_system_rejected(self):
+        from repro.sim.config import system_for
+
+        with pytest.raises(ValueError, match="unknown system"):
+            system_for("quantum")
+
+    def test_paper_system_rejects_rescaling(self):
+        from repro.sim.config import system_for
+
+        with pytest.raises(ValueError, match="fixed at the table 2 sizes"):
+            system_for("paper", 2.0)
+
+
 class TestTriangelSizing:
     def test_structure_names_match_table_1(self):
         names = [size.name for size in triangel_structure_sizes()]

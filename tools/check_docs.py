@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Check markdown documentation for broken relative links and stale anchors.
+"""Check markdown documentation for broken links and registry drift.
 
 Scans the repository's markdown files (README.md and docs/) for inline
 links.  For every relative link it verifies the target file exists; for
@@ -7,8 +7,14 @@ every in-repo anchor link (``file.md#section``) it verifies the heading
 exists in the target.  External links (http/https/mailto) are recorded but
 not fetched, keeping the check offline and deterministic.
 
-Exits non-zero listing every broken link.  Used by the CI docs job and by
-``tests/test_docs.py``; stdlib only.
+It also cross-checks the ``STUDIES`` registry against the figure table in
+``docs/reproducing-figures.md``: every registered study must appear as a
+``repro study run <name>`` command there, and every study the docs mention
+must exist in the registry — so the table can never drift from the code.
+
+Exits non-zero listing every problem.  Used by the CI docs job and by
+``tests/test_docs.py``; stdlib only (the study check imports ``repro``
+from the in-repo ``src/`` tree, which itself has no dependencies).
 """
 
 from __future__ import annotations
@@ -55,6 +61,43 @@ def check_file(path: Path, root: Path) -> list[str]:
     return problems
 
 
+#: The guide whose figure table must stay in sync with the STUDIES registry.
+FIGURE_GUIDE = "docs/reproducing-figures.md"
+
+_STUDY_COMMAND = re.compile(r"repro study (?:run|describe) ([\w][\w.-]*)")
+
+
+def check_studies(root: Path) -> list[str]:
+    """Cross-check the STUDIES registry against the figure-reproduction guide."""
+
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.experiments.studies import STUDIES
+    except Exception as error:  # pragma: no cover - import environment broken
+        return [f"{FIGURE_GUIDE}: cannot import STUDIES registry ({error})"]
+    finally:
+        sys.path.pop(0)
+
+    guide = root / FIGURE_GUIDE
+    if not guide.exists():
+        return []  # the missing file is already reported by the link check
+    text = guide.read_text()
+    problems = []
+    for name in STUDIES.names():
+        if f"repro study run {name}" not in text:
+            problems.append(
+                f"{FIGURE_GUIDE}: registered study {name!r} missing from the "
+                f"figure table (add a `repro study run {name}` row)"
+            )
+    for name in set(_STUDY_COMMAND.findall(text)):
+        if name not in STUDIES:
+            problems.append(
+                f"{FIGURE_GUIDE}: documents unknown study {name!r} "
+                f"(registry has: {', '.join(STUDIES.names())})"
+            )
+    return problems
+
+
 def main() -> int:
     """Check every documentation file; print problems and return exit code."""
 
@@ -66,10 +109,11 @@ def main() -> int:
             problems.append(f"{name}: documentation file missing")
             continue
         problems.extend(check_file(path, root))
+    problems.extend(check_studies(root))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
-        print(f"docs ok: {len(DOC_FILES)} files checked")
+        print(f"docs ok: {len(DOC_FILES)} files checked, STUDIES registry in sync")
     return 1 if problems else 0
 
 
