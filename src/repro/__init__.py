@@ -15,6 +15,9 @@ This package implements, from scratch, the systems described in
   DRAM traffic/energy accounting and an analytic timing model;
 * **workload generators** (:mod:`repro.workloads`) standing in for the SPEC
   CPU2006 traces and Graph500 inputs of the evaluation;
+* a **trace I/O layer** (:mod:`repro.traces`) that records, imports
+  (ChampSim-style LS traces) and samples on-disk packed access streams,
+  which run as first-class ``trace:<name>`` workloads;
 * an **experiment harness** (:mod:`repro.experiments`) that regenerates every
   figure and table of the paper's evaluation section.
 
@@ -38,6 +41,15 @@ from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.multiprogram import MultiProgramSimulator
+from repro.traces import (
+    PackedTrace,
+    import_champsim_trace,
+    load_trace,
+    record_workload,
+    sample_systematic,
+    sample_window,
+    save_trace,
+)
 from repro.triage.triage import TriageConfig, TriagePrefetcher
 from repro.workloads.registry import available_workloads, generate_workload
 
@@ -61,5 +73,12 @@ __all__ = [
     "build_prefetchers",
     "available_workloads",
     "generate_workload",
+    "PackedTrace",
+    "load_trace",
+    "save_trace",
+    "import_champsim_trace",
+    "record_workload",
+    "sample_window",
+    "sample_systematic",
     "__version__",
 ]

@@ -19,6 +19,16 @@ Five subcommands cover the common workflows without writing any Python:
     ``--configs``, and ``--set key=value`` for the system scale, metric, or
     any configuration parameter).  ``run --all`` regenerates every study;
     against a warm store that re-executes zero simulations.
+``trace``
+    Work with on-disk packed traces (the ``.rtrc`` format of
+    :mod:`repro.traces`): ``record`` a registered generator's stream to a
+    file, ``import`` a ChampSim-style LS text/gzip trace, ``info`` a
+    file's header and footprint, or ``sample`` a window / systematic
+    subsample into a new file.  Files on the trace search path (the
+    ``REPRO_TRACE_DIR`` environment variable, default ``./traces``)
+    resolve as first-class ``trace:<name>`` workloads everywhere a
+    workload name is accepted — ``repro run``, ``--workloads`` study
+    overrides, multiprogram pairs.
 ``cache``
     Inspect (``show``) or empty (``clear``) the persistent result store
     that the simulating subcommands read and write under ``.repro_cache/``.
@@ -44,6 +54,11 @@ Examples::
     python -m repro study run fig10 --workloads mcf,astar --jobs 4
     python -m repro study run replacement-study --set max_entries=2048
     python -m repro study run --all
+    python -m repro trace record mcf --length 20000
+    python -m repro trace import champsim_dump.trace.gz --name leela
+    python -m repro trace info trace:leela
+    python -m repro trace sample trace:leela --window 5000:20000 --name leela_hot
+    python -m repro study run fig10 --workloads trace:leela --configs triangel
     python -m repro cache show
     python -m repro cache clear
 """
@@ -53,6 +68,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.experiments import figures
@@ -176,6 +192,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-accesses", type=int, default=None, help="cap the sampled accesses per run"
     )
     _add_execution_arguments(study_run_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="record, import, inspect or sample on-disk packed traces"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--name", default=None, help="name for the written trace (sets the file stem)"
+        )
+        parser.add_argument(
+            "--dir",
+            dest="trace_dir",
+            default=None,
+            help="directory to write into (default: the first trace search-path entry)",
+        )
+        parser.add_argument(
+            "--gzip", action="store_true", help="gzip-compress the written file"
+        )
+
+    record_parser = trace_subparsers.add_parser(
+        "record", help="record a registered workload generator's stream to disk"
+    )
+    record_parser.add_argument("workload", help="workload name (see `repro list`)")
+    record_parser.add_argument(
+        "--length", type=int, default=None, help="override the generated trace length"
+    )
+    record_parser.add_argument(
+        "--override",
+        action="append",
+        dest="overrides",
+        default=None,
+        metavar="KEY=VALUE",
+        help="extra generator override (e.g. seed=9); repeatable",
+    )
+    _add_output_arguments(record_parser)
+
+    import_parser = trace_subparsers.add_parser(
+        "import", help="import a ChampSim-style LS text/gzip trace file"
+    )
+    import_parser.add_argument("file", help="path of the trace file to import")
+    import_parser.add_argument(
+        "--radix",
+        choices=("auto", "hex", "dec"),
+        default="auto",
+        help="radix of bare (un-prefixed) numbers; auto sniffs the file "
+        "(one radix per file)",
+    )
+    _add_output_arguments(import_parser)
+
+    info_parser = trace_subparsers.add_parser(
+        "info", help="show a trace file's header, footprint and provenance"
+    )
+    info_parser.add_argument(
+        "trace", help="trace workload name (trace:<name> or <name>) or a file path"
+    )
+
+    sample_parser = trace_subparsers.add_parser(
+        "sample", help="write a sampled sub-trace (window or systematic) to disk"
+    )
+    sample_parser.add_argument(
+        "trace", help="source: trace workload name (trace:<name>) or a file path"
+    )
+    sample_parser.add_argument(
+        "--window",
+        default=None,
+        metavar="START:LENGTH",
+        help="keep the contiguous window of LENGTH accesses starting at START",
+    )
+    sample_parser.add_argument(
+        "--every",
+        type=int,
+        default=None,
+        metavar="PERIOD",
+        help="systematic sampling: keep a block out of every PERIOD accesses",
+    )
+    sample_parser.add_argument(
+        "--block", type=int, default=1, help="accesses kept per period (default: 1)"
+    )
+    sample_parser.add_argument(
+        "--offset", type=int, default=0, help="first sampled index (default: 0)"
+    )
+    _add_output_arguments(sample_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent result store"
@@ -382,6 +481,217 @@ def _command_study(args: argparse.Namespace) -> str | None:
     return "\n".join(outputs) if not args.all else None
 
 
+def _trace_output_dir(args: argparse.Namespace) -> Path:
+    """The directory a trace-writing subcommand targets (one rule for all)."""
+
+    from repro.workloads.registry import trace_search_path
+
+    return Path(args.trace_dir) if args.trace_dir else trace_search_path()[0]
+
+
+def _trace_output_path(args: argparse.Namespace, default_name: str) -> Path:
+    """Where a trace-writing subcommand should put its file."""
+
+    from repro.traces.format import trace_suffix
+
+    return _trace_output_dir(args) / (
+        f"{args.name or default_name}{trace_suffix(args.gzip)}"
+    )
+
+
+def _resolve_trace_source(raw: str) -> Path:
+    """A trace argument as a file path or a (``trace:``-prefixed) name."""
+
+    from repro.workloads.registry import resolve_trace_path
+
+    path = Path(raw)
+    if path.is_file():
+        return path
+    return resolve_trace_path(raw)
+
+
+def _workload_claim(path: Path, name: str) -> str:
+    """How a freshly written trace file is addressable as a workload.
+
+    Only files on the trace search path resolve as ``trace:<name>``;
+    claiming the name for a file written elsewhere (``--dir /tmp/out``)
+    would advertise a workload that does not exist, so point at the
+    environment variable instead.
+    """
+
+    from repro.workloads.registry import TRACE_DIR_ENV, TRACE_PREFIX, trace_search_path
+
+    parent = path.parent.resolve()
+    if any(parent == directory.resolve() for directory in trace_search_path()):
+        return f"workload {TRACE_PREFIX}{name}"
+    return (
+        f"not on the trace search path — set {TRACE_DIR_ENV}={path.parent} "
+        f"to run it as {TRACE_PREFIX}{name}"
+    )
+
+
+def _command_trace(args: argparse.Namespace) -> str:
+    """Implement ``repro trace record|import|info|sample``."""
+
+    from repro.traces.format import (
+        open_trace,
+        remove_stale_sibling,
+        save_trace,
+        trace_file_digest,
+    )
+    from repro.workloads.registry import TRACE_PREFIX
+
+    # `--name trace:leela` means the workload name, not a literal file stem
+    # — a stem containing the prefix would resolve as trace:trace:leela,
+    # i.e. never.  Normalise once for every writing subcommand.
+    explicit_name = getattr(args, "name", None)
+    if explicit_name and explicit_name.startswith(TRACE_PREFIX):
+        args.name = explicit_name[len(TRACE_PREFIX):]
+        if not args.name:
+            raise ValueError("--name: empty trace name")
+
+    if args.trace_command == "record":
+        from repro.experiments.study import coerce_param
+        from repro.traces.recorder import record_workload
+
+        overrides = {
+            key: coerce_param(value)
+            for key, value in parse_assignments(args.overrides).items()
+        }
+        if args.length is not None:
+            if args.length <= 0:
+                raise ValueError("--length must be positive")
+            overrides["length"] = args.length
+        path = record_workload(
+            args.workload,
+            directory=_trace_output_dir(args),
+            name=args.name,
+            compress=args.gzip,
+            overrides=overrides,
+        )
+        # The written file's stem IS the workload name; path.name already
+        # reflects the recorder's prefix-stripping, so derive it from there
+        # rather than re-deriving (and possibly double-prefixing) it here.
+        from repro.traces.format import TRACE_SUFFIXES
+
+        stem = path.name
+        for suffix in sorted(TRACE_SUFFIXES, key=len, reverse=True):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+                break
+        return (
+            f"recorded {args.workload} -> {path} "
+            f"({_workload_claim(path, stem)})"
+        )
+
+    if args.trace_command == "import":
+        from repro.traces.champsim import import_champsim_trace
+
+        imported = import_champsim_trace(args.file, name=args.name, radix=args.radix)
+        path = _trace_output_path(args, imported.name)
+        save_trace(imported, path)
+        remove_stale_sibling(path)
+        return (
+            f"imported {args.file} -> {path} "
+            f"({len(imported)} accesses; {_workload_claim(path, imported.name)})"
+        )
+
+    if args.trace_command == "info":
+        from repro.traces.format import TraceFormatError, read_header
+        from repro.workloads.trace import LINE_SHIFT
+
+        path = _resolve_trace_source(args.trace)
+        try:
+            trace, header = open_trace(path)
+        except TraceFormatError:
+            # Inspection must still work on files this build refuses to
+            # *simulate* — a foreign line shift is exactly what a user
+            # needs `info` to diagnose.  Genuinely corrupt files re-raise.
+            header = read_header(path)
+            if header.line_shift == LINE_SHIFT:
+                raise
+            lines = [
+                f"file:         {path} ({path.stat().st_size} bytes"
+                f"{', gzip' if header.compressed else ''})",
+                f"name:         {header.name}",
+                f"format:       .rtrc v{header.version}, line shift "
+                f"{header.line_shift}",
+                f"accesses:     {header.records}",
+                f"note:         recorded under line shift "
+                f"{header.line_shift}; this build simulates "
+                f"{1 << LINE_SHIFT}-byte lines (shift {LINE_SHIFT}), so "
+                f"the payload cannot be replayed (header shown only)",
+            ]
+            if header.metadata.get("generator"):
+                lines.append(f"generator:    {header.metadata['generator']}")
+            return "\n".join(lines)
+        unique_lines = trace.unique_lines()
+        lines = [
+            f"file:         {path} ({path.stat().st_size} bytes"
+            f"{', gzip' if header.compressed else ''})",
+            f"name:         {trace.name}",
+            f"format:       .rtrc v{header.version}, line shift {header.line_shift}",
+            f"accesses:     {len(trace)}",
+            f"writes:       {trace.write_count()}",
+            f"unique lines: {unique_lines} "
+            f"({unique_lines << header.line_shift} bytes footprint)",
+            f"unique pcs:   {trace.unique_pcs()}",
+            f"digest:       {trace_file_digest(path)[:16]}",
+        ]
+        for key in ("recorded", "imported", "sampled"):
+            if key in trace.metadata:
+                details = ", ".join(
+                    f"{k}={v}" for k, v in sorted(trace.metadata[key].items())
+                )
+                lines.append(f"{key + ':':<13} {details}")
+        generator = trace.metadata.get("generator")
+        if generator:
+            lines.append(f"generator:    {generator}")
+        return "\n".join(lines)
+
+    # -- sample ------------------------------------------------------------
+    if (args.window is None) == (args.every is None):
+        raise ValueError(
+            "repro trace sample: give exactly one of --window START:LENGTH "
+            "or --every PERIOD"
+        )
+    source, _header = open_trace(_resolve_trace_source(args.trace))
+    if args.window is not None:
+        from repro.traces.samplers import sample_window
+
+        if args.block != 1 or args.offset != 0:
+            # Silently writing a plain window would drop the options the
+            # user asked for; reject, as every other inapplicable-override
+            # path in this CLI does.
+            raise ValueError(
+                "--block/--offset apply to --every (systematic) sampling, "
+                "not --window"
+            )
+        start_text, separator, length_text = args.window.partition(":")
+        if not separator:
+            raise ValueError("--window takes START:LENGTH (e.g. 5000:20000)")
+        try:
+            start, length = int(start_text), int(length_text)
+        except ValueError:
+            raise ValueError("--window START and LENGTH must be integers") from None
+        sampled = sample_window(source, start, length, name=args.name)
+    else:
+        from repro.traces.samplers import sample_systematic
+
+        sampled = sample_systematic(
+            source, args.every, block=args.block, offset=args.offset, name=args.name
+        )
+    path = _trace_output_path(args, sampled.name)
+    save_trace(sampled, path)
+    remove_stale_sibling(path)
+    provenance = sampled.metadata["sampled"]
+    return (
+        f"sampled {source.name} ({len(source)} accesses) -> {path} "
+        f"({len(sampled)} accesses, {provenance['sampler']} sampler; "
+        f"{_workload_claim(path, sampled.name)})"
+    )
+
+
 def _command_cache(args: argparse.Namespace) -> str:
     """Implement ``repro cache show|clear``: inspect or empty the store."""
 
@@ -426,6 +736,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _command_study(args)
             if output is not None:
                 print(output)
+        elif args.command == "trace":
+            print(_command_trace(args))
         elif args.command == "cache":
             print(_command_cache(args))
     except BrokenPipeError:  # e.g. `repro cache show | head`
@@ -434,10 +746,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         # status with "Exception ignored" noise.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    except ValueError as error:
+    except (ValueError, FileNotFoundError) as error:
         # Validation errors (unknown names, inapplicable overrides, bad
-        # flags) are user input problems: deliver the message, not a
-        # traceback.
+        # flags, missing/corrupt trace files) are user input problems:
+        # deliver the message, not a traceback.
         print(f"repro: {error}", file=sys.stderr)
         return 2
     return 0

@@ -46,6 +46,9 @@ _SIMULATION_SOURCES = (
     "prefetch",
     "sim",
     "triage",
+    # the trace I/O layer decodes on-disk access streams, so its code
+    # determines what ``trace:`` workloads replay.
+    "traces",
     "utils",
     "workloads",
     "experiments/configs.py",
@@ -98,6 +101,34 @@ def _thaw(value):
     return value
 
 
+def _trace_digests(workloads: Sequence[str]) -> dict[str, str]:
+    """Content digests of every on-disk trace workload among ``workloads``.
+
+    Generated workloads are fully described by their name and overrides, but
+    a ``trace:`` workload's stream lives in a file — so its identity is the
+    file's *content* digest (see
+    :func:`repro.traces.format.trace_file_digest`).  Each spec captures the
+    digests at *creation* time into its frozen ``trace_digests`` field, so
+    a spec's content hash is immutable over its lifetime and hashing never
+    touches the filesystem; the execute path re-digests and refuses to run
+    if the file changed after the spec was compiled.  The persistent store
+    therefore stays correct when a trace file is re-recorded or re-imported
+    under the same name, while a mere rename or move never invalidates
+    results.
+    """
+
+    digests: dict[str, str] = {}
+    for workload in workloads:
+        if workload.startswith("trace:") and workload not in digests:
+            # Imported lazily: spec hashing must stay importable without the
+            # trace layer, and most specs reference no trace files at all.
+            from repro.traces.format import trace_file_digest
+            from repro.workloads.registry import resolve_trace_path
+
+            digests[workload] = trace_file_digest(resolve_trace_path(workload))
+    return digests
+
+
 class _SpecBase:
     """Behaviour shared by both spec kinds: reconstruction and identity."""
 
@@ -114,6 +145,32 @@ class _SpecBase:
         """The trace-generation overrides as a plain dictionary."""
 
         return _thaw(self.trace_overrides) or {}
+
+    def config_params_dict(self) -> dict:
+        """The call-time configuration parameters as a plain dictionary."""
+
+        return _thaw(self.config_params) or {}
+
+    def trace_digests_dict(self) -> dict:
+        """The creation-time trace-file digests as a plain dictionary."""
+
+        return _thaw(self.trace_digests) or {}
+
+    def _verify_trace_digests(self, workloads: Sequence[str]) -> None:
+        """Refuse to execute against trace files that changed after compile.
+
+        The spec's hash — and hence the store key the result lands under —
+        reflects the digests captured at creation; simulating the file's
+        *current* bytes would persist a result under the wrong key.
+        """
+
+        current = _trace_digests(workloads)
+        if self.trace_digests_dict() != current:
+            raise ValueError(
+                f"trace file(s) backing {sorted(current)} changed since this "
+                f"spec was created; re-compile the study/spec to run against "
+                f"the new contents"
+            )
 
     # -- identity -----------------------------------------------------------
     def content_hash(self) -> str:
@@ -149,6 +206,9 @@ class RunSpec(_SpecBase):
     warmup_fraction: float = 0.4
     max_accesses: int | None = None
     config_params: tuple = ()
+    #: (name, digest) pairs of any ``trace:`` file backing the workload,
+    #: captured at creation time (empty for generated workloads).
+    trace_digests: tuple = ()
 
     @classmethod
     def create(
@@ -171,17 +231,19 @@ class RunSpec(_SpecBase):
             warmup_fraction=warmup_fraction,
             max_accesses=max_accesses,
             config_params=_freeze(dict(config_params or {})),
+            trace_digests=_freeze(_trace_digests([workload])),
         )
 
-    def config_params_dict(self) -> dict:
-        """The call-time configuration parameters as a plain dictionary."""
-
-        return _thaw(self.config_params) or {}
-
     def as_dict(self) -> dict:
-        """JSON-serialisable canonical form (also stored alongside results)."""
+        """JSON-serialisable canonical form (also stored alongside results).
 
-        return {
+        For ``trace:`` workloads a ``trace_digests`` entry content-addresses
+        the backing file, so the spec's hash — and hence the store key —
+        changes exactly when the file's bytes do.  Specs over generated
+        workloads carry no such entry and hash as they always have.
+        """
+
+        data = {
             "kind": "run",
             "workload": self.workload,
             "configuration": self.configuration,
@@ -191,6 +253,10 @@ class RunSpec(_SpecBase):
             "warmup_fraction": self.warmup_fraction,
             "max_accesses": self.max_accesses,
         }
+        digests = self.trace_digests_dict()
+        if digests:
+            data["trace_digests"] = digests
+        return data
 
 
 @dataclass(frozen=True)
@@ -204,9 +270,15 @@ class MultiProgramSpec(_SpecBase):
     state (the paper's figure 16 setup; see
     :func:`repro.sim.multiprogram.share_temporal_metadata`).
 
-    Like :class:`RunSpec`, the ``max_accesses_per_core`` cap — figure 16's
-    call-time parameter — is part of the hash, so truncated and full runs
-    occupy distinct store entries.
+    ``config_params`` carries the call-time parameters of a parameterised
+    configuration — every core's stack is built from the same
+    ``(configuration, config_params)`` pair, exactly as a
+    :class:`RunSpec`'s is — so parameterised configurations (e.g. the
+    replacement study's capped policies) run multiprogrammed and hash
+    distinctly per variant.  Like :class:`RunSpec`, the
+    ``max_accesses_per_core`` cap — figure 16's call-time parameter — is
+    part of the hash, so truncated and full runs occupy distinct store
+    entries.
     """
 
     workloads: tuple
@@ -216,6 +288,10 @@ class MultiProgramSpec(_SpecBase):
     warmup_fraction: float = 0.4
     max_accesses_per_core: int | None = None
     share_metadata: bool = True
+    config_params: tuple = ()
+    #: (name, digest) pairs of any ``trace:`` files among the per-core
+    #: workloads, captured at creation time (see :class:`RunSpec`).
+    trace_digests: tuple = ()
 
     @classmethod
     def create(
@@ -227,6 +303,7 @@ class MultiProgramSpec(_SpecBase):
         warmup_fraction: float = 0.4,
         max_accesses_per_core: int | None = None,
         share_metadata: bool = True,
+        config_params: Mapping | None = None,
     ) -> "MultiProgramSpec":
         """Build a canonical multiprogram spec from mutable inputs."""
 
@@ -238,21 +315,32 @@ class MultiProgramSpec(_SpecBase):
             warmup_fraction=warmup_fraction,
             max_accesses_per_core=max_accesses_per_core,
             share_metadata=share_metadata,
+            config_params=_freeze(dict(config_params or {})),
+            trace_digests=_freeze(_trace_digests(workloads)),
         )
 
     def as_dict(self) -> dict:
-        """JSON-serialisable canonical form (also stored alongside results)."""
+        """JSON-serialisable canonical form (also stored alongside results).
 
-        return {
+        ``trace_digests`` content-addresses any ``trace:`` workloads among
+        the per-core streams, exactly as :meth:`RunSpec.as_dict` does.
+        """
+
+        data = {
             "kind": "multiprogram",
             "workloads": list(self.workloads),
             "configuration": self.configuration,
+            "config_params": self.config_params_dict(),
             "system": _thaw(self.system),
             "trace_overrides": self.trace_overrides_dict(),
             "warmup_fraction": self.warmup_fraction,
             "max_accesses_per_core": self.max_accesses_per_core,
             "share_metadata": self.share_metadata,
         }
+        digests = self.trace_digests_dict()
+        if digests:
+            data["trace_digests"] = digests
+        return data
 
 
 # Traces are regenerated deterministically, so each process (the parent's
@@ -263,11 +351,19 @@ _TRACE_MEMO: dict[tuple, object] = {}
 
 
 def trace_for_workload(workload: str, overrides: Mapping | None = None):
-    """The (memoised) trace for a workload under the given overrides."""
+    """The (memoised) trace for a workload under the given overrides.
+
+    ``trace:`` workloads memoise under their file's *content digest* too,
+    so rewriting a trace file mid-process (a re-record, a re-import) can
+    never replay the previously loaded stream against a spec whose hash
+    already reflects the new bytes.
+    """
 
     from repro.workloads.registry import generate_workload
 
     key = (workload, _freeze(dict(overrides or {})))
+    if workload.startswith("trace:"):
+        key = key + tuple(sorted(_trace_digests([workload]).items()))
     trace = _TRACE_MEMO.get(key)
     if trace is None:
         trace = generate_workload(workload, **dict(overrides or {}))
@@ -305,6 +401,7 @@ def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
     from repro.sim.timing import TimingModel
 
     system = spec.system_config()
+    spec._verify_trace_digests([spec.workload])
     if trace is None:
         trace = _trace_for_spec(spec)
     prefetchers = build_prefetchers(
@@ -341,11 +438,14 @@ def execute_multiprogram_spec(spec: MultiProgramSpec):
     from repro.sim.multiprogram import MultiProgramSimulator
 
     system = spec.system_config()
+    spec._verify_trace_digests(spec.workloads)
     overrides = spec.trace_overrides_dict()
     traces = [trace_for_workload(workload, overrides) for workload in spec.workloads]
     simulator = MultiProgramSimulator(
         system,
-        prefetcher_factory=lambda: build_prefetchers(spec.configuration, system),
+        prefetcher_factory=lambda: build_prefetchers(
+            spec.configuration, system, params=spec.config_params_dict() or None
+        ),
         num_cores=len(spec.workloads),
         configuration_name=spec.configuration,
         share_metadata=spec.share_metadata,

@@ -105,8 +105,13 @@ class ExperimentRunner:
         configuration: str,
         max_accesses_per_core: int | None = None,
         share_metadata: bool = True,
+        config_params: Mapping | None = None,
     ) -> MultiProgramSpec:
-        """The immutable spec describing one multiprogrammed run."""
+        """The immutable spec describing one multiprogrammed run.
+
+        ``config_params`` parameterises the configuration every core runs,
+        exactly as :meth:`spec_for` does for single-core cells.
+        """
 
         if configuration not in CONFIGS:
             raise ValueError(f"unknown configuration {configuration!r}")
@@ -118,6 +123,7 @@ class ExperimentRunner:
             warmup_fraction=self.warmup_fraction,
             max_accesses_per_core=max_accesses_per_core,
             share_metadata=share_metadata,
+            config_params=config_params,
         )
 
     def _store(self) -> ResultStore | None:
@@ -220,6 +226,7 @@ class ExperimentRunner:
         pair: Sequence[str],
         configuration: str,
         max_accesses_per_core: int | None = None,
+        config_params: Mapping | None = None,
     ) -> MultiProgramResult:
         """Run a workload pair on two cores sharing the L3 and DRAM.
 
@@ -227,8 +234,11 @@ class ExperimentRunner:
         :class:`~repro.experiments.jobs.MultiProgramSpec` and flows through
         the executor and persistent store like every other simulation, so a
         repeated pair (within this process or a later one) replays instead
-        of re-simulating.
+        of re-simulating.  ``config_params`` parameterises the configuration
+        on every core.
         """
 
-        spec = self.multiprogram_spec_for(pair, configuration, max_accesses_per_core)
+        spec = self.multiprogram_spec_for(
+            pair, configuration, max_accesses_per_core, config_params=config_params
+        )
         return self.submit([spec])[spec]

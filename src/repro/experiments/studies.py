@@ -24,6 +24,13 @@ Every axis is also overridable from the CLI without any new code::
     repro study run fig10 --workloads mcf,astar --configs triangel
     repro study run replacement-study --set max_entries=2048
     repro study run fig10 --set scale=0.5
+
+The workload axis accepts on-disk traces alongside the generated
+workloads: any recorded or imported ``.rtrc`` file on the trace search
+path (see :mod:`repro.traces` and ``repro trace``) is a ``trace:<name>``
+workload, so ``repro study run fig10 --workloads trace:leela`` runs an
+existing study over an external trace — persisted in the store under the
+file's content digest like every other run.
 """
 
 from __future__ import annotations

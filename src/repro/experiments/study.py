@@ -105,7 +105,7 @@ _AXIS_FIELDS: dict[str, Callable[[str], object]] = {
 }
 
 
-def _coerce_param(raw: str):
+def coerce_param(raw: str):
     """Best-effort literal coercion for ``--set`` configuration parameters."""
 
     lowered = raw.lower()
@@ -119,6 +119,21 @@ def _coerce_param(raw: str):
         except ValueError:
             continue
     return raw
+
+
+def accepted_params(configurations: Sequence[str]) -> set[str]:
+    """Every parameter name at least one of the configurations accepts.
+
+    The single acceptance rule behind all three stranded-parameter checks
+    (``--set`` overrides, ``--configs`` narrowing, and multiprogram
+    compile), so they can never diverge.
+    """
+
+    accepted: set[str] = set()
+    for name in configurations:
+        if name in CONFIGS:
+            accepted |= {key for key, _ in CONFIGS.entry(name).params}
+    return accepted
 
 
 def parse_assignments(pairs: Sequence[str] | None) -> dict[str, str]:
@@ -246,11 +261,13 @@ class Study:
                 raise ValueError(
                     f"study {self.name!r} has no workload axis to override{hint}"
                 )
-            unknown = [name for name in workloads if name not in available_workloads()]
+            # Bound once: each listing call scans the trace search path.
+            known = available_workloads()
+            known_set = set(known)
+            unknown = [name for name in workloads if name not in known_set]
             if unknown:
                 raise ValueError(
-                    f"unknown workload(s) {unknown}; available: "
-                    f"{available_workloads()}"
+                    f"unknown workload(s) {unknown}; available: {known}"
                 )
             updates["workloads"] = tuple(workloads)
         if configurations is not None:
@@ -267,14 +284,7 @@ class Study:
             # configuration axis: a replacement-study narrowed to plain
             # configurations would otherwise keep (and advertise in its
             # title) a cap no compiled spec carries.
-            stranded = {
-                key
-                for key in self.config_params_dict()
-                if not any(
-                    key in {name for name, _ in CONFIGS.entry(config).params}
-                    for config in configurations
-                )
-            }
+            stranded = set(self.config_params_dict()) - accepted_params(configurations)
             if stranded:
                 raise ValueError(
                     f"--configs override leaves declared parameter(s) "
@@ -303,7 +313,7 @@ class Study:
                         )
                 updates[key] = value
             else:
-                params[key] = _coerce_param(raw)
+                params[key] = coerce_param(raw)
                 added_params.add(key)
         self._validate_added_params(
             added_params, updates.get("configurations", self.configurations)
@@ -323,20 +333,7 @@ class Study:
 
         if not added:
             return
-        if self.pairs:
-            # MultiProgramSpec does not carry configuration parameters yet
-            # (see ROADMAP); accepting one here would relabel the table while
-            # the compiled specs — and hence the replayed results — stayed at
-            # the defaults.
-            raise ValueError(
-                f"study {self.name!r} runs multiprogrammed, and multiprogram "
-                f"specs do not carry configuration parameters yet; "
-                f"--set {sorted(added)} cannot take effect"
-            )
-        accepted: set[str] = set()
-        for name in configurations:
-            if name in CONFIGS:
-                accepted |= {key for key, _ in CONFIGS.entry(name).params}
+        accepted = accepted_params(configurations)
         unknown = set(added) - accepted
         if unknown:
             raise ValueError(
@@ -618,16 +615,26 @@ register_reducer(
 
 # -- "multiprogram": pair speedups against a per-pair baseline run -----------
 def _multiprogram_cells(study: Study, runner: ExperimentRunner) -> dict:
-    if study.config_params:
-        raise ValueError(
-            f"study {study.name!r}: multiprogram specs do not carry "
-            f"configuration parameters yet; declared params "
-            f"{study.config_params_dict()} would be silently ignored"
-        )
+    params = study.config_params_dict()
+    if params:
+        # A Study.create-declared parameter that no configuration of the
+        # study accepts would compile to default-parameter specs while the
+        # title still advertises it — reject, exactly as overridden() and
+        # with_config_params() do for the CLI/programmatic override paths.
+        stranded = set(params) - accepted_params(study.configurations)
+        if stranded:
+            raise ValueError(
+                f"study {study.name!r} declares parameter(s) "
+                f"{sorted(stranded)} that none of its configurations "
+                f"accept; they would be silently ignored"
+            )
     series = [study.baseline] + list(study.configurations)
     return {
         (pair, configuration): runner.multiprogram_spec_for(
-            pair, configuration, study.max_accesses_per_core
+            pair,
+            configuration,
+            study.max_accesses_per_core,
+            config_params=study.params_for(configuration),
         )
         for pair in study.pairs
         for configuration in series

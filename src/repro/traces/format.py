@@ -1,0 +1,543 @@
+"""The ``.rtrc`` packed binary trace format and its array-backed container.
+
+Every workload in the repository used to exist only as a Python generator
+that rebuilt its :class:`~repro.workloads.trace.Trace` — a list of
+per-access :class:`~repro.memory.request.MemoryAccess` objects — on every
+cold run.  This module makes access streams first-class on-disk artefacts:
+
+* :class:`PackedTrace` holds an access stream as three parallel columns —
+  ``array('Q')`` program counters, ``array('Q')`` physical addresses and a
+  write bitset — and satisfies the :class:`~repro.workloads.trace.Trace`
+  iteration protocol (``__iter__``/``__len__``/``__getitem__``/``slice``/
+  ``unique_lines``/``unique_pcs``) without ever materialising a list of
+  per-access objects;
+* :func:`save_trace` / :func:`load_trace` round-trip any trace-like object
+  through the versioned ``.rtrc`` container described below, optionally
+  gzip-compressed (a ``.gz`` suffix compresses on save; loads sniff the
+  gzip magic, so either spelling reads either file);
+* :func:`read_header` inspects a file without decoding its payload, and
+  :func:`trace_file_digest` content-addresses a file for the experiment
+  layer's spec hashing (see :mod:`repro.experiments.jobs`).
+
+File layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RTRC"
+    4       2     format version (currently 1)
+    6       2     flags (reserved, 0)
+    8       1     line shift (LINE_SHIFT at save time; readers check it)
+    9       3     reserved (zero)
+    12      8     record count N
+    20      4     header-JSON length H
+    24      H     header JSON: {"name": ..., "metadata": {...}}
+    24+H    8*N   program counters, uint64 each
+    ...     8*N   physical addresses, uint64 each
+    ...     ⌈N/8⌉ write bitset, LSB-first within each byte
+
+The line shift travels in the header so a stream packed under one line
+geometry is never silently interpreted under another — it is the same
+:data:`~repro.workloads.trace.LINE_SHIFT` constant trace statistics use.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.memory.request import MemoryAccess
+from repro.workloads.trace import LINE_SHIFT, Trace
+
+#: Magic bytes opening every ``.rtrc`` file.
+MAGIC = b"RTRC"
+
+#: Current format version; bumped only on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: The canonical file suffixes, in resolution-preference order.  The
+#: workload registry's ``trace:`` resolution and directory scans, the
+#: writers' suffix choice (:func:`trace_suffix`) and the sibling cleanup
+#: (:func:`remove_stale_sibling`) all derive from this tuple, so a new
+#: suffix added here is discovered everywhere.
+TRACE_SUFFIXES = (".rtrc", ".rtrc.gz")
+
+
+def trace_suffix(compress: bool) -> str:
+    """The file suffix a writer should use (single source: TRACE_SUFFIXES)."""
+
+    return TRACE_SUFFIXES[1] if compress else TRACE_SUFFIXES[0]
+
+_FIXED_HEADER = struct.Struct("<4sHHB3xQI")
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+class TraceFormatError(ValueError):
+    """A file is not a readable ``.rtrc`` trace (bad magic, version, size)."""
+
+
+def _pack_bits(flags: Iterable[bool], count: int) -> bytearray:
+    """Pack booleans into an LSB-first bitset of ``ceil(count / 8)`` bytes."""
+
+    bits = bytearray((count + 7) // 8)
+    for index, flag in enumerate(flags):
+        if flag:
+            bits[index >> 3] |= 1 << (index & 7)
+    return bits
+
+
+class PackedTrace:
+    """An access stream stored as parallel columns instead of objects.
+
+    Satisfies the same iteration protocol as
+    :class:`~repro.workloads.trace.Trace` — the simulator, the experiment
+    layer and the statistics helpers accept either interchangeably — while
+    holding the stream as two ``array('Q')`` columns plus a write bitset,
+    about 17 bytes per access instead of a boxed object.  Iteration yields
+    :class:`~repro.memory.request.MemoryAccess` values created on the fly;
+    nothing per-access is retained.
+    """
+
+    __slots__ = ("name", "metadata", "line_shift", "_pcs", "_addresses", "_writes")
+
+    def __init__(
+        self,
+        name: str,
+        pcs: array,
+        addresses: array,
+        writes: bytearray | bytes,
+        metadata: dict | None = None,
+        line_shift: int = LINE_SHIFT,
+    ) -> None:
+        if len(pcs) != len(addresses):
+            raise ValueError("pc and address columns must have equal length")
+        if len(writes) < (len(pcs) + 7) // 8:
+            raise ValueError("write bitset shorter than the record count")
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self.line_shift = line_shift
+        self._pcs = pcs
+        self._addresses = addresses
+        self._writes = bytes(writes)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_accesses(
+        cls,
+        name: str,
+        accesses: Iterable[MemoryAccess],
+        metadata: dict | None = None,
+    ) -> "PackedTrace":
+        """Pack any iterable of accesses (e.g. a live generator's trace)."""
+
+        pcs = array("Q")
+        addresses = array("Q")
+        write_flags: list[bool] = []
+        for access in accesses:
+            pcs.append(access.pc)
+            addresses.append(access.address)
+            write_flags.append(access.is_write)
+        return cls(
+            name=name,
+            pcs=pcs,
+            addresses=addresses,
+            writes=_pack_bits(write_flags, len(pcs)),
+            metadata=metadata,
+        )
+
+    # -- the Trace protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        writes = self._writes
+        for index, (pc, address) in enumerate(zip(self._pcs, self._addresses)):
+            yield MemoryAccess(
+                pc=pc,
+                address=address,
+                is_write=bool(writes[index >> 3] >> (index & 7) & 1),
+            )
+
+    def __getitem__(self, index: int) -> MemoryAccess:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("trace index out of range")
+        return MemoryAccess(
+            pc=self._pcs[index],
+            address=self._addresses[index],
+            is_write=bool(self._writes[index >> 3] >> (index & 7) & 1),
+        )
+
+    def is_write(self, index: int) -> bool:
+        """Whether the ``index``-th access is a store (bitset lookup)."""
+
+        return bool(self._writes[index >> 3] >> (index & 7) & 1)
+
+    def write_count(self) -> int:
+        """Number of stores in the trace (bitset popcount, not a scan).
+
+        Bits beyond the record count in the final byte are masked out, so a
+        foreign file with stray tail bits can never inflate the count.
+        """
+
+        count = len(self)
+        used = (count + 7) // 8
+        total = sum(byte.bit_count() for byte in self._writes[:used])
+        tail_bits = count & 7
+        if tail_bits and used:
+            stray = self._writes[used - 1] >> tail_bits
+            total -= stray.bit_count()
+        return total
+
+    def unique_lines(self) -> int:
+        """Number of distinct cache lines touched (the trace's footprint)."""
+
+        shift = self.line_shift
+        return len({address >> shift for address in self._addresses})
+
+    def unique_pcs(self) -> int:
+        """Number of distinct PCs appearing in the trace."""
+
+        return len(set(self._pcs))
+
+    def slice(self, start: int, stop: int) -> "PackedTrace":
+        """A sub-trace covering records ``[start:stop)``, columns re-sliced."""
+
+        start, stop, _ = slice(start, stop).indices(len(self))
+        write_flags = (self.is_write(index) for index in range(start, stop))
+        return PackedTrace(
+            name=f"{self.name}[{start}:{stop}]",
+            pcs=self._pcs[start:stop],
+            addresses=self._addresses[start:stop],
+            writes=_pack_bits(write_flags, max(0, stop - start)),
+            metadata=dict(self.metadata),
+            line_shift=self.line_shift,
+        )
+
+    def to_trace(self) -> Trace:
+        """Materialise a plain object-backed :class:`Trace` (tests, tooling)."""
+
+        return Trace(name=self.name, accesses=list(self), metadata=dict(self.metadata))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedTrace(name={self.name!r}, records={len(self)})"
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The decoded fixed header + JSON header of one ``.rtrc`` file."""
+
+    name: str
+    records: int
+    line_shift: int
+    version: int
+    compressed: bool
+    metadata: dict
+
+
+def _column_bytes(column: array) -> bytes:
+    """The column's records as little-endian bytes regardless of host order."""
+
+    if sys.byteorder == "big":  # pragma: no cover - exercised on BE hosts only
+        column = array(column.typecode, column)
+        column.byteswap()
+    return column.tobytes()
+
+
+def _column_from_bytes(data: bytes) -> array:
+    column = array("Q")
+    column.frombytes(data)
+    if sys.byteorder == "big":  # pragma: no cover - exercised on BE hosts only
+        column.byteswap()
+    return column
+
+
+def pack_trace(trace, name: str | None = None) -> PackedTrace:
+    """Pack any trace-like object; a :class:`PackedTrace` passes through.
+
+    Renaming an already-packed trace shares its columns and keeps its
+    recorded ``line_shift`` — re-packing access by access would silently
+    reset a foreign file's geometry to this build's default.
+    """
+
+    if isinstance(trace, PackedTrace):
+        if name in (None, trace.name):
+            return trace
+        return PackedTrace(
+            name=name,
+            pcs=trace._pcs,
+            addresses=trace._addresses,
+            writes=trace._writes,
+            metadata=dict(trace.metadata),
+            line_shift=trace.line_shift,
+        )
+    return PackedTrace.from_accesses(
+        name=name or getattr(trace, "name", "trace"),
+        accesses=trace,
+        metadata=dict(getattr(trace, "metadata", {}) or {}),
+    )
+
+
+def save_trace(trace, path: str | Path, name: str | None = None) -> Path:
+    """Write a trace-like object to ``path`` in ``.rtrc`` form.
+
+    A ``.gz`` suffix gzip-compresses the file (the whole container, so the
+    reader sniffs the gzip magic and either spelling loads either file).
+    Returns the path written.
+    """
+
+    packed = pack_trace(trace, name)
+    metadata = {
+        key: value
+        for key, value in packed.metadata.items()
+        if _json_safe(value)
+    }
+    header_json = json.dumps(
+        {"name": packed.name, "metadata": metadata}, sort_keys=True
+    ).encode("utf-8")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    container = b"".join(
+        (
+            _FIXED_HEADER.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                0,
+                packed.line_shift,
+                len(packed),
+                len(header_json),
+            ),
+            header_json,
+            _column_bytes(packed._pcs),
+            _column_bytes(packed._addresses),
+            packed._writes[: (len(packed) + 7) // 8],
+        )
+    )
+    if path.suffix == ".gz":
+        # gzip.compress with mtime=0 embeds neither a timestamp nor a
+        # filename, so the same stream produces the same bytes whenever
+        # (and wherever) it is saved — the file-content digests keying the
+        # result store must not churn on a byte-identical re-record.
+        container = gzip.compress(container, mtime=0)
+    # Write-then-rename: re-recording a file another process is replaying
+    # must never expose a torn half-written container to its readers.
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_bytes(container)
+    os.replace(staging, path)
+    # This process just changed the file: drop its memoised digests, so a
+    # same-size rewrite inside the filesystem's mtime granularity can never
+    # serve the old digest to subsequent spec creation/verification.
+    _drop_memoised_digests(path)
+    return path
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def _read_container(path: Path) -> tuple[bytes, bool]:
+    """The file's raw container bytes and whether it was gzip-compressed.
+
+    Every load primes the digest memo from the bytes just read (guarded by
+    a stat taken on both sides, so a concurrent rewrite can't memoise a
+    digest under the wrong key): ``trace info`` and the executor's
+    load-then-digest sequences touch the file once, not twice.
+    """
+
+    try:
+        stat_before = path.stat()
+    except OSError:
+        stat_before = None
+    raw = path.read_bytes()
+    if stat_before is not None:
+        try:
+            stat_after = path.stat()
+        except OSError:
+            stat_after = None
+        if stat_after is not None and (
+            stat_before.st_size,
+            stat_before.st_mtime_ns,
+        ) == (stat_after.st_size, stat_after.st_mtime_ns):
+            key = (str(path.resolve()), stat_after.st_size, stat_after.st_mtime_ns)
+            _DIGEST_MEMO.setdefault(key, hashlib.sha256(raw).hexdigest())
+    if raw[:2] == _GZIP_MAGIC:
+        return gzip.decompress(raw), True
+    return raw, False
+
+
+def _decode_header(
+    data: bytes, path: Path, compressed: bool = False
+) -> tuple[TraceHeader, int]:
+    """Decode the fixed + JSON header; returns it and the payload offset."""
+
+    if len(data) < _FIXED_HEADER.size:
+        raise TraceFormatError(f"{path}: truncated header")
+    magic, version, _flags, line_shift, count, json_length = _FIXED_HEADER.unpack_from(
+        data
+    )
+    if magic != MAGIC:
+        raise TraceFormatError(f"{path}: not an .rtrc trace (bad magic)")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported .rtrc version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    offset = _FIXED_HEADER.size + json_length
+    if len(data) < offset:
+        raise TraceFormatError(f"{path}: truncated JSON header")
+    try:
+        described = json.loads(data[_FIXED_HEADER.size : offset])
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"{path}: corrupt JSON header ({error})") from None
+    header = TraceHeader(
+        name=str(described.get("name", path.stem)),
+        records=count,
+        line_shift=line_shift,
+        version=version,
+        compressed=compressed,
+        metadata=dict(described.get("metadata", {})),
+    )
+    return header, offset
+
+
+def read_header(path: str | Path) -> TraceHeader:
+    """Decode a file's header (name, counts, shift, metadata) only."""
+
+    path = Path(path)
+    data, compressed = _read_container(path)
+    header, _ = _decode_header(data, path, compressed)
+    return header
+
+
+def load_trace(path: str | Path) -> PackedTrace:
+    """Load an ``.rtrc`` file (gzip sniffed) into a :class:`PackedTrace`."""
+
+    return open_trace(path)[0]
+
+
+def open_trace(path: str | Path) -> tuple[PackedTrace, TraceHeader]:
+    """Load a file *and* its decoded header in a single read/decompress.
+
+    ``repro trace info`` wants both the stream and the container facts
+    (version, compressed flag); calling :func:`load_trace` plus
+    :func:`read_header` would read — and for ``.gz`` files decompress — the
+    container twice.
+    """
+
+    path = Path(path)
+    data, compressed = _read_container(path)
+    header, offset = _decode_header(data, path, compressed)
+    if header.line_shift != LINE_SHIFT:
+        # The simulator's hierarchy has one fixed line geometry; replaying
+        # a stream recorded under another shift would silently skew every
+        # footprint and statistic.  (read_header still decodes such files
+        # for inspection.)
+        raise TraceFormatError(
+            f"{path}: recorded under line shift {header.line_shift}, but "
+            f"this build simulates {1 << LINE_SHIFT}-byte lines (shift "
+            f"{LINE_SHIFT})"
+        )
+    count = header.records
+    column_size = 8 * count
+    bitset_size = (count + 7) // 8
+    expected = offset + 2 * column_size + bitset_size
+    if len(data) < expected:
+        raise TraceFormatError(
+            f"{path}: payload truncated ({len(data)} bytes, expected {expected})"
+        )
+    pcs = _column_from_bytes(data[offset : offset + column_size])
+    addresses = _column_from_bytes(data[offset + column_size : offset + 2 * column_size])
+    writes = data[offset + 2 * column_size : expected]
+    trace = PackedTrace(
+        name=header.name,
+        pcs=pcs,
+        addresses=addresses,
+        writes=writes,
+        metadata=header.metadata,
+        line_shift=header.line_shift,
+    )
+    return trace, header
+
+
+def remove_stale_sibling(path: str | Path) -> Path | None:
+    """Delete any other-suffix spelling of a just-written trace.
+
+    Every :data:`TRACE_SUFFIXES` spelling of ``<name>`` resolves to the
+    *same* workload name (in preference order) — so re-recording a trace
+    under a different suffix would otherwise leave a stale sibling
+    shadowing (or shadowed by) the new file, and ``trace:<name>`` could
+    silently replay old data.  Returns the first removed path, if any.
+    """
+
+    path = Path(path)
+    name = path.name
+    # Longest suffix first, so ".rtrc.gz" is not misread as ".rtrc".
+    for suffix in sorted(TRACE_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            removed = None
+            for other in TRACE_SUFFIXES:
+                if other == suffix:
+                    continue
+                sibling = path.with_name(stem + other)
+                if sibling.is_file():
+                    sibling.unlink()
+                    removed = removed or sibling
+            return removed
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Content digests: the experiment layer's identity for trace-file workloads
+# ---------------------------------------------------------------------------
+# Keyed by (path, size, mtime_ns) so repeated spec hashing over a big batch
+# reads each file once per version of its contents.  In-process writers
+# (:func:`save_trace`) additionally evict their path outright, closing the
+# stale-digest window a same-size rewrite inside the filesystem's mtime
+# granularity would otherwise leave open.
+_DIGEST_MEMO: dict[tuple, str] = {}
+
+
+def _drop_memoised_digests(path: Path) -> None:
+    """Evict every memoised digest of one file (writers call this)."""
+
+    resolved = str(path.resolve())
+    for key in [key for key in _DIGEST_MEMO if key[0] == resolved]:
+        del _DIGEST_MEMO[key]
+
+
+def trace_file_digest(path: str | Path) -> str:
+    """SHA-256 of the file's bytes (memoised on path + size + mtime).
+
+    This is what :mod:`repro.experiments.jobs` folds into the content hash
+    of any spec whose workload resolves to a trace file, so the persistent
+    result store keys on *what the file contains*, not what it is called:
+    re-importing different data under the same name can never replay stale
+    results, and renaming a file never invalidates them.
+    """
+
+    path = Path(path)
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+    digest = _DIGEST_MEMO.get(key)
+    if digest is None:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        _DIGEST_MEMO[key] = digest
+    return digest
+
+
+def clear_digest_memo() -> None:
+    """Drop memoised file digests (tests that rewrite files in place)."""
+
+    _DIGEST_MEMO.clear()

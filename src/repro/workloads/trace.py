@@ -5,7 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.memory.address import CACHE_LINE_BITS
 from repro.memory.request import MemoryAccess
+
+#: Address bits below the cache-line number.  Trace statistics and the
+#: packed on-disk trace format (:mod:`repro.traces.format`, which records
+#: the shift in every ``.rtrc`` header) both derive line footprints from
+#: this one constant, so they can never disagree with the hierarchy's
+#: 64-byte line geometry.
+LINE_SHIFT = CACHE_LINE_BITS
 
 
 @dataclass
@@ -43,7 +51,7 @@ class Trace:
     def unique_lines(self) -> int:
         """Number of distinct cache lines touched (the trace's footprint)."""
 
-        return len({access.address >> 6 for access in self.accesses})
+        return len({access.address >> LINE_SHIFT for access in self.accesses})
 
     def unique_pcs(self) -> int:
         """Number of distinct PCs appearing in the trace."""

@@ -250,6 +250,190 @@ class TestStudyCommands:
         assert "replacement-study" in output
 
 
+class TestTraceCommands:
+    """The ``repro trace record|import|info|sample`` workflow end-to-end."""
+
+    @pytest.fixture(autouse=True)
+    def _trace_dir(self, tmp_path, monkeypatch):
+        from repro.experiments.jobs import clear_trace_memo
+        from repro.traces.format import clear_digest_memo
+
+        self.directory = tmp_path / "traces"
+        self.directory.mkdir()
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(self.directory))
+        clear_trace_memo()
+        clear_digest_memo()
+        yield
+        clear_trace_memo()
+
+    def test_record_writes_to_the_search_path(self, capsys):
+        code = main(["trace", "record", "pointer_chase", "--override", "nodes=32"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace:pointer_chase" in output
+        assert (self.directory / "pointer_chase.rtrc").is_file()
+
+    def test_prefixed_name_flag_is_normalised_to_the_bare_stem(self, tmp_path, capsys):
+        """--name trace:leela means the workload name, not a literal stem."""
+
+        source = tmp_path / "dump.trace"
+        source.write_text("0x1 0x40 L\n0x2 0x80 L\n")
+        assert main(["trace", "import", str(source), "--name", "trace:leela"]) == 0
+        output = capsys.readouterr().out
+        assert "workload trace:leela" in output
+        assert "trace:trace:" not in output
+        assert (self.directory / "leela.rtrc").is_file()
+        assert main(["trace", "info", "trace:leela"]) == 0
+
+    def test_rerecord_of_trace_workload_claims_single_prefix(self, capsys):
+        assert main(["trace", "record", "pointer_chase", "--override", "nodes=8"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "record", "trace:pointer_chase", "--gzip"]) == 0
+        output = capsys.readouterr().out
+        assert "workload trace:pointer_chase" in output
+        assert "trace:trace:" not in output
+
+    def test_record_unknown_workload_rejected(self, capsys):
+        assert main(["trace", "record", "nonesuch"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_info_reports_header_and_footprint(self, capsys):
+        assert main(["trace", "record", "sequential", "--length", "64"]) == 2
+        capsys.readouterr()  # sequential takes `lines`, not `length`
+        assert main(["trace", "record", "sequential", "--override", "lines=64"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", "trace:sequential"]) == 0
+        output = capsys.readouterr().out
+        assert "accesses:     64" in output
+        assert "unique lines: 64" in output
+        assert "line shift 6" in output
+        assert "recorded:" in output
+
+    def test_import_then_run_workload(self, tmp_path, capsys):
+        source = tmp_path / "dump.trace"
+        source.write_text(
+            "".join(f"0x400400 {hex(0x70000000 + (i % 40) * 64)} L\n" for i in range(1500))
+        )
+        assert main(["trace", "import", str(source), "--name", "ext"]) == 0
+        capsys.readouterr()
+        clear_caches()
+        code = main(
+            ["run", "trace:ext", "--config", "triage", "--max-accesses", "400"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workload: trace:ext" in output
+
+    def test_sample_window_and_systematic(self, capsys):
+        assert main(["trace", "record", "pointer_chase", "--override", "nodes=64"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["trace", "sample", "trace:pointer_chase", "--window", "10:100", "--name", "hot"]
+        )
+        assert code == 0
+        assert "100 accesses" in capsys.readouterr().out
+        code = main(
+            ["trace", "sample", "trace:pointer_chase", "--every", "4", "--name", "thin"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "info", "trace:thin"]) == 0
+        assert "sampled:" in capsys.readouterr().out
+
+    def test_sample_requires_exactly_one_mode(self, capsys):
+        assert main(["trace", "record", "pointer_chase"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "sample", "trace:pointer_chase"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "trace",
+                    "sample",
+                    "trace:pointer_chase",
+                    "--window",
+                    "0:10",
+                    "--block",
+                    "4",
+                ]
+            )
+            == 2
+        )
+        assert "--block/--offset apply to --every" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "trace",
+                    "sample",
+                    "trace:pointer_chase",
+                    "--window",
+                    "0:10",
+                    "--every",
+                    "2",
+                ]
+            )
+            == 2
+        )
+
+    def test_off_search_path_dir_does_not_claim_a_workload_name(
+        self, tmp_path, capsys
+    ):
+        """--dir outside the search path must not advertise trace:<name>."""
+
+        elsewhere = tmp_path / "elsewhere"
+        code = main(
+            ["trace", "record", "pointer_chase", "--dir", str(elsewhere)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workload trace:pointer_chase" not in output
+        assert "not on the trace search path" in output
+        assert "REPRO_TRACE_DIR" in output
+
+    def test_missing_trace_errors_cleanly(self, capsys):
+        assert main(["trace", "info", "trace:absent"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "no trace file" in err
+
+    def test_info_shows_header_for_foreign_line_shift_files(self, capsys):
+        """`info` must diagnose files this build refuses to simulate."""
+
+        assert main(["trace", "record", "pointer_chase", "--override", "nodes=8"]) == 0
+        capsys.readouterr()
+        path = self.directory / "pointer_chase.rtrc"
+        data = bytearray(path.read_bytes())
+        data[8] = 7  # the header's line-shift byte
+        path.write_bytes(bytes(data))
+        assert main(["trace", "info", "trace:pointer_chase"]) == 0
+        output = capsys.readouterr().out
+        assert "line shift 7" in output
+        assert "header shown only" in output
+        # Simulating it still fails loudly.
+        assert main(["run", "trace:pointer_chase", "--config", "triage"]) == 2
+        assert "line shift 7" in capsys.readouterr().err
+
+    def test_study_runs_over_recorded_trace(self, capsys):
+        assert main(["trace", "record", "pointer_chase", "--override", "nodes=64"]) == 0
+        capsys.readouterr()
+        clear_caches()
+        code = main(
+            [
+                "study",
+                "run",
+                "fig10",
+                "--workloads",
+                "trace:pointer_chase",
+                "--configs",
+                "triangel",
+                "--max-accesses",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "trace:pointer_chase" in capsys.readouterr().out
+
+
 class TestExecutionOptions:
     def test_jobs_and_cache_dir_accepted(self, tmp_path):
         args = build_parser().parse_args(

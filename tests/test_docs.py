@@ -17,6 +17,7 @@ class TestDocs:
     def test_doc_pages_exist(self):
         assert (ROOT / "docs" / "architecture.md").exists()
         assert (ROOT / "docs" / "reproducing-figures.md").exists()
+        assert (ROOT / "docs" / "traces.md").exists()
 
     def test_markdown_links_resolve(self):
         result = subprocess.run(

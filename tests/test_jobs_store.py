@@ -215,6 +215,69 @@ class TestMultiProgramSpec:
             runner.multiprogram_spec_for(("xalan", "omnet"), "voyager")
 
 
+class TestMultiProgramConfigParams:
+    """config_params folded into MultiProgramSpec (the former ROADMAP gap)."""
+
+    def test_params_change_the_hash(self):
+        base = make_mp_spec(
+            configuration="triage-lru", config_params={"max_entries": 512}
+        )
+        other = make_mp_spec(
+            configuration="triage-lru", config_params={"max_entries": 1024}
+        )
+        plain = make_mp_spec(configuration="triage-lru")
+        hashes = {spec.content_hash() for spec in (base, other, plain)}
+        assert len(hashes) == 3
+
+    def test_hash_disjoint_from_equally_parameterised_run_specs(self):
+        """The kind discriminator keeps the two spec spaces disjoint even
+        when every shared field (configuration, params, system) agrees."""
+
+        multi = make_mp_spec(
+            workloads=("xalan",),
+            configuration="triage-lru",
+            config_params={"max_entries": 512},
+        )
+        single = make_spec(
+            workload="xalan",
+            configuration="triage-lru",
+            config_params={"max_entries": 512},
+            trace_overrides={"length": 1000},
+            warmup_fraction=0.2,
+            max_accesses=None,
+        )
+        assert multi.content_hash() != single.content_hash()
+
+    def test_params_round_trip_in_as_dict(self):
+        spec = make_mp_spec(config_params={"max_entries": 64})
+        payload = json.loads(json.dumps(spec.as_dict()))
+        assert payload["config_params"] == {"max_entries": 64}
+        assert spec.config_params_dict() == {"max_entries": 64}
+
+    def test_execute_rebuilds_parameterised_stacks_on_every_core(self):
+        spec = make_mp_spec(
+            configuration="triage-srrip",
+            config_params={"max_entries": 64},
+            max_accesses_per_core=150,
+        )
+        result = execute_multiprogram_spec(spec)
+        assert len(result.core_results) == 2
+        assert all(
+            core.stats.configuration == "triage-srrip"
+            for core in result.core_results
+        )
+
+    def test_capped_and_default_multiprogram_results_differ_in_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        capped = make_mp_spec(
+            configuration="triage-lru", config_params={"max_entries": 16}
+        )
+        plain = make_mp_spec(configuration="triage-lru")
+        store.put(capped, execute_multiprogram_spec(capped))
+        assert store.get(plain) is None  # disjoint keys: no cross-replay
+        assert store.get(capped) is not None
+
+
 class TestResultStore:
     def test_round_trip_preserves_every_counter(self, tmp_path):
         spec = make_spec()

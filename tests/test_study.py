@@ -249,10 +249,16 @@ class TestOverrides:
         study = STUDIES.get("replacement-study").with_config_params(max_entries=64)
         assert study.config_params_dict() == {"max_entries": 64}
 
-    def test_param_overrides_rejected_on_multiprogram_studies(self):
-        """MultiProgramSpec carries no config_params; don't mislabel results."""
+    def test_param_overrides_on_multiprogram_studies(self):
+        """Multiprogram studies carry config_params into their compiled specs.
 
-        with pytest.raises(ValueError, match="multiprogram"):
+        fig16's configurations are all plain, so a parameter override is
+        still rejected there (nothing would accept it); a multiprogram
+        study over a parameterised configuration compiles specs that carry
+        the parameters — and only on the configurations that take them.
+        """
+
+        with pytest.raises(ValueError, match="match neither a study axis"):
             STUDIES.get("fig16").overridden(assignments={"max_entries": "64"})
         declared = Study.create(
             name="mp-params",
@@ -263,8 +269,33 @@ class TestOverrides:
             configurations=("triage-lru",),
             config_params={"max_entries": 64},
         )
+        specs = declared.compile()
+        by_config = {spec.configuration: spec for spec in specs}
+        assert by_config["triage-lru"].config_params_dict() == {"max_entries": 64}
+        assert by_config["baseline"].config_params_dict() == {}
+        overridden = declared.overridden(assignments={"max_entries": "32"})
+        assert overridden.config_params_dict() == {"max_entries": 32}
+        assert (
+            by_config["triage-lru"].content_hash()
+            != {
+                spec.configuration: spec for spec in overridden.compile()
+            }["triage-lru"].content_hash()
+        )
+
+    def test_multiprogram_stranded_declared_params_rejected_at_compile(self):
+        """Params no configuration accepts must not silently compile away."""
+
+        stranded = Study.create(
+            name="mp-stranded",
+            figure="X",
+            title="t",
+            reducer="multiprogram",
+            pairs=(("xalan", "omnet"),),
+            configurations=("triangel",),  # plain: accepts no params
+            config_params={"max_entries": 64},
+        )
         with pytest.raises(ValueError, match="silently ignored"):
-            declared.compile()
+            stranded.compile()
 
     def test_table2_system_axes_are_overridable(self):
         study = STUDIES.get("table2").overridden(

@@ -24,7 +24,12 @@ import sys
 from pathlib import Path
 
 #: Markdown files checked, relative to the repository root.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/reproducing-figures.md")
+DOC_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/reproducing-figures.md",
+    "docs/traces.md",
+)
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
