@@ -18,6 +18,9 @@ This package implements, from scratch, the systems described in
 * a **trace I/O layer** (:mod:`repro.traces`) that records, imports
   (ChampSim-style LS traces) and samples on-disk packed access streams,
   which run as first-class ``trace:<name>`` workloads;
+* two **execution kernels** (:mod:`repro.sim.kernel`): the readable
+  reference engine and a fused, allocation-free columnar fast kernel —
+  bit-identical by contract, benchmarked by ``repro bench``;
 * an **experiment harness** (:mod:`repro.experiments`) that regenerates every
   figure and table of the paper's evaluation section.
 
@@ -40,7 +43,9 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
+from repro.sim.kernel import KERNELS, resolve_kernel, run_simulation
 from repro.sim.multiprogram import MultiProgramSimulator
+from repro.sim.stream import AccessColumns, access_columns
 from repro.traces import (
     PackedTrace,
     import_champsim_trace,
@@ -65,6 +70,11 @@ __all__ = [
     "SystemConfig",
     "Simulator",
     "MultiProgramSimulator",
+    "KERNELS",
+    "resolve_kernel",
+    "run_simulation",
+    "AccessColumns",
+    "access_columns",
     "ExperimentRunner",
     "STUDIES",
     "Study",

@@ -1,6 +1,6 @@
 """Command-line interface for the Triangel reproduction.
 
-Five subcommands cover the common workflows without writing any Python:
+Seven subcommands cover the common workflows without writing any Python:
 
 ``list``
     Show the available workloads, prefetcher configurations (parameterised
@@ -29,6 +29,12 @@ Five subcommands cover the common workflows without writing any Python:
     resolve as first-class ``trace:<name>`` workloads everywhere a
     workload name is accepted — ``repro run``, ``--workloads`` study
     overrides, multiprogram pairs.
+``bench``
+    Measure simulated accesses/second under both execution kernels (the
+    readable reference engine and the fused columnar fast kernel of
+    :mod:`repro.sim.kernel`) on a fixed synthetic workload and a recorded
+    ``.rtrc`` trace, verify the two agree bit-for-bit, and write the
+    ``BENCH_engine.json`` performance record.
 ``cache``
     Inspect (``show``) or empty (``clear``) the persistent result store
     that the simulating subcommands read and write under ``.repro_cache/``.
@@ -37,10 +43,13 @@ Five subcommands cover the common workflows without writing any Python:
     multiprogram runs) and lists the latter two individually.
 
 ``run``, ``figure`` and ``study run`` accept ``--jobs N`` to execute
-simulation matrices in N worker processes, and ``--cache-dir`` to relocate
+simulation matrices in N worker processes, ``--cache-dir`` to relocate
 the result store (the ``REPRO_CACHE_DIR`` environment variable does the
-same).  A second invocation with the same parameters replays completed
-simulations from the store instead of re-running them.
+same), and ``--kernel reference|fast`` to pick the execution kernel (the
+``REPRO_KERNEL`` environment variable does the same; both kernels produce
+bit-identical statistics, so this never changes any result).  A second
+invocation with the same parameters replays completed simulations from the
+store instead of re-running them.
 
 Examples::
 
@@ -59,6 +68,8 @@ Examples::
     python -m repro trace info trace:leela
     python -m repro trace sample trace:leela --window 5000:20000 --name leela_hot
     python -m repro study run fig10 --workloads trace:leela --configs triangel
+    python -m repro run xalan --kernel reference --no-cache
+    python -m repro bench
     python -m repro cache show
     python -m repro cache clear
 """
@@ -276,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(sample_parser)
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="measure simulated accesses/second under both execution kernels",
+    )
+    bench_parser.add_argument(
+        "--length", type=int, default=44_000, help="accesses per benchmark stream"
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per (case, kernel); best wins"
+    )
+    bench_parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON record (default: ./BENCH_engine.json; "
+        "'-' skips writing)",
+    )
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent result store"
     )
@@ -305,6 +333,14 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the persistent result store for this invocation",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("reference", "fast"),
+        default=None,
+        help="execution kernel (default: fast, or $REPRO_KERNEL); both "
+        "produce bit-identical statistics — 'reference' is the readable "
+        "debugging implementation",
+    )
 
 
 def _store_for(args: argparse.Namespace) -> ResultStore:
@@ -333,6 +369,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         use_cache=not getattr(args, "no_cache", False),
         jobs=getattr(args, "jobs", 1),
         store=_store_for(args),
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -469,6 +506,7 @@ def _command_study(args: argparse.Namespace) -> str | None:
             use_cache=not args.no_cache,
             jobs=args.jobs,
             store=store,
+            kernel=args.kernel,
         )
         rendered = study.run(runner).rendered
         if args.all:
@@ -692,6 +730,24 @@ def _command_trace(args: argparse.Namespace) -> str:
     )
 
 
+def _command_bench(args: argparse.Namespace) -> str:
+    """Implement ``repro bench``: kernel microbenchmark + JSON record."""
+
+    from repro.experiments.bench import (
+        BENCH_FILENAME,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    record = run_bench(length=args.length, repeats=args.repeats)
+    lines = [render_bench(record)]
+    if args.output != "-":
+        path = write_bench(record, args.output or BENCH_FILENAME)
+        lines.append(f"wrote {path}")
+    return "\n".join(lines)
+
+
 def _command_cache(args: argparse.Namespace) -> str:
     """Implement ``repro cache show|clear``: inspect or empty the store."""
 
@@ -738,6 +794,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(output)
         elif args.command == "trace":
             print(_command_trace(args))
+        elif args.command == "bench":
+            from repro.experiments.bench import BenchParityError
+
+            try:
+                print(_command_bench(args))
+            except BenchParityError as error:
+                # A kernel divergence is a bug, not bad input: render it
+                # cleanly but exit 1 (not the validation-error 2) so CI and
+                # scripts can tell the two apart.
+                print(f"repro: {error}", file=sys.stderr)
+                return 1
         elif args.command == "cache":
             print(_command_cache(args))
     except BrokenPipeError:  # e.g. `repro cache show | head`

@@ -31,7 +31,7 @@ from repro.core.second_chance import SecondChanceSampler
 from repro.core.set_dueller import SetDueller
 from repro.core.training_table import TriangelTrainingEntry, TriangelTrainingTable
 from repro.memory.hierarchy import DemandResult, MemoryHierarchy
-from repro.prefetch.base import Prefetcher, PrefetchDecision
+from repro.prefetch.base import DecisionBuffer, Prefetcher
 from repro.triage.bloom import BloomPartitionSizer
 from repro.triage.markov_table import MarkovTable
 from repro.triage.metadata import make_metadata_format
@@ -39,6 +39,10 @@ from repro.triage.metadata import make_metadata_format
 
 class TriangelPrefetcher(Prefetcher):
     """Triangel: accurate, timely temporal prefetching with sampling control."""
+
+    # observe_into's first statement returns, touching nothing, unless the
+    # access missed the L2 or first-used a prefetched L2 line.
+    observes_hits = False
 
     def __init__(self, config: TriangelConfig | None = None, name: str = "triangel") -> None:
         super().__init__(name)
@@ -92,11 +96,16 @@ class TriangelPrefetcher(Prefetcher):
             )
 
     # -- main entry point -----------------------------------------------------------
-    def observe(
-        self, pc: int, line_addr: int, result: DemandResult, now: float
-    ) -> list[PrefetchDecision]:
+    def observe_into(
+        self,
+        pc: int,
+        line_addr: int,
+        result: DemandResult,
+        now: float,
+        sink: DecisionBuffer,
+    ) -> None:
         if not (result.l2_miss or result.l2_prefetch_first_use):
-            return []
+            return
         if self.markov is None or self.hierarchy is None:
             raise RuntimeError("TriangelPrefetcher must be attached to a hierarchy first")
         cfg = self.config
@@ -117,14 +126,12 @@ class TriangelPrefetcher(Prefetcher):
 
         self._update_lookahead(entry)
 
-        decisions: list[PrefetchDecision] = []
         if self._should_act(entry):
             self._train_markov(entry, pc, line_addr)
-            decisions = self._generate_prefetches(entry, line_addr)
+            self._generate_prefetches(entry, line_addr, sink)
 
         entry.push_address(line_addr)
         self.stats.training_events += 1
-        return decisions
 
     # -- confidence maintenance --------------------------------------------------------
     def _update_confidence(
@@ -270,10 +277,9 @@ class TriangelPrefetcher(Prefetcher):
             self.mrb.invalidate(index_address)
 
     def _generate_prefetches(
-        self, entry: TriangelTrainingEntry, line_addr: int
-    ) -> list[PrefetchDecision]:
+        self, entry: TriangelTrainingEntry, line_addr: int, sink: DecisionBuffer
+    ) -> None:
         cfg = self.config
-        decisions: list[PrefetchDecision] = []
         degree = self._degree_for(entry)
         current = line_addr
         accumulated_latency = 0.0
@@ -301,19 +307,16 @@ class TriangelPrefetcher(Prefetcher):
             if target is None:
                 break
             if target != current and not self._target_resident(target):
-                decisions.append(
-                    PrefetchDecision(
-                        address=target,
-                        target_level="l2",
-                        extra_latency=accumulated_latency,
-                        metadata_source="mrb" if from_mrb else "markov",
-                    )
+                sink.emit(
+                    target,
+                    "l2",
+                    accumulated_latency,
+                    "mrb" if from_mrb else "markov",
                 )
                 self.stats.prefetches_issued += 1
             else:
                 self.stats.prefetches_dropped_resident += 1
             current = target
-        return decisions
 
     # -- partition sizing -----------------------------------------------------------------
     def _observe_data_for_sizing(self, line_addr: int) -> None:

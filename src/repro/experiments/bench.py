@@ -1,0 +1,254 @@
+"""The ``repro bench`` engine microbenchmark: simulated accesses per second.
+
+Every figure in the repository is bounded by how fast the engine replays
+memory accesses, so this module measures exactly that — the same simulation
+run under the **reference** kernel (readable, object-per-access) and the
+**fast** kernel (fused, columnar, allocation-free; see
+:mod:`repro.sim.kernel`) — and records the result in ``BENCH_engine.json``,
+the repository's performance trajectory file.
+
+Two benchmark cases bracket the engine's operating range:
+
+* ``synthetic-xalan`` — the ``xalan`` synthetic workload under the full
+  Triangel stack, packed in memory at build time.  Fill- and
+  prefetch-heavy, so the shared cache model dominates; this is the
+  end-to-end figure-generation rate.
+* ``replay-hot`` — a *recorded* ``.rtrc`` pointer-chase trace whose working
+  set stays L1-resident after warm-up, replayed under the same Triangel
+  stack.  With almost no cache-model work per access, the per-access engine
+  overhead is the measurement — the replay-rate ceiling, and the case where
+  the fused kernel's object elimination shows up undiluted.  This is "the
+  packed-trace benchmark" the project tracks a ≥ 2× fast-vs-reference
+  target on.
+
+Both kernels must agree bit-for-bit on every statistic; a mismatch makes
+the bench fail (and exit non-zero from the CLI) rather than report a
+meaningless rate.  Timing uses best-of-``repeats`` wall time over the whole
+run, warm-up included.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.configs import build_prefetchers
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.kernel import KERNELS, run_simulation
+from repro.sim.timing import TimingModel
+
+#: Where the CLI writes the benchmark record by default (repository root in
+#: development checkouts; the current directory otherwise).
+BENCH_FILENAME = "BENCH_engine.json"
+
+#: Lines in the replay-hot chain: well inside the scaled 4 KiB L1.
+_HOT_CHAIN_LINES = 48
+
+
+class BenchParityError(RuntimeError):
+    """The two kernels disagreed on a statistic — the bench result is void."""
+
+
+@dataclass
+class BenchCase:
+    """One (workload, configuration) cell measured under both kernels."""
+
+    name: str
+    workload: str
+    configuration: str
+    description: str
+    trace: object = field(repr=False)
+
+
+def _simulator(system: SystemConfig, configuration: str) -> Simulator:
+    return Simulator(
+        system.build_hierarchy(),
+        build_prefetchers(configuration, system),
+        timing=TimingModel(system.timing),
+        config=system,
+        configuration_name=configuration,
+    )
+
+
+def _measure(
+    case: BenchCase,
+    system: SystemConfig,
+    kernel: str,
+    repeats: int,
+    warmup_fraction: float,
+) -> tuple[float, dict]:
+    """Best wall-time over ``repeats`` runs and the (identical) statistics."""
+
+    best = None
+    stats = None
+    warmup = int(len(case.trace) * warmup_fraction)
+    for _ in range(repeats):
+        simulator = _simulator(system, case.configuration)
+        started = time.perf_counter()
+        result = run_simulation(
+            simulator,
+            case.trace,
+            kernel=kernel,
+            workload_name=case.workload,
+            warmup_accesses=warmup,
+        )
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+        stats = asdict(result.stats)
+    return best, stats
+
+
+def _bench_cases(length: int, trace_dir: Path) -> list[BenchCase]:
+    """Build the two benchmark streams (packing/recording is not timed)."""
+
+    from repro.experiments.jobs import trace_for_workload
+    from repro.traces.format import load_trace, pack_trace
+    from repro.traces.recorder import record_workload
+
+    synthetic = pack_trace(
+        trace_for_workload("xalan", {"length": length}), name="xalan"
+    )
+    repeats = max(2, length // _HOT_CHAIN_LINES)
+    recorded_path = record_workload(
+        "pointer_chase",
+        directory=trace_dir,
+        name="bench_hot",
+        overrides={"nodes": _HOT_CHAIN_LINES, "repeats": repeats},
+    )
+    recorded = load_trace(recorded_path)
+    return [
+        BenchCase(
+            name="synthetic-xalan",
+            workload="xalan",
+            configuration="triangel",
+            description=(
+                "fill/prefetch-heavy synthetic workload, packed at build "
+                "time; end-to-end figure-generation rate"
+            ),
+            trace=synthetic,
+        ),
+        BenchCase(
+            name="replay-hot",
+            workload="trace:bench_hot",
+            configuration="triangel",
+            description=(
+                "recorded .rtrc pointer chase, L1-resident after warm-up; "
+                "per-access engine overhead, the replay-rate ceiling"
+            ),
+            trace=recorded,
+        ),
+    ]
+
+
+def run_bench(
+    length: int = 44_000,
+    repeats: int = 3,
+    scale: float = 1.0,
+    warmup_fraction: float = 0.25,
+) -> dict:
+    """Run every bench case under both kernels; return the JSON-safe record.
+
+    Raises :class:`BenchParityError` if any case's statistics differ
+    between kernels — speed numbers for diverging simulations would be
+    meaningless, and the parity guarantee is the fast kernel's contract.
+    """
+
+    if length <= 0:
+        raise ValueError("--length must be positive")
+    if repeats <= 0:
+        raise ValueError("--repeats must be positive")
+    system = SystemConfig.scaled(scale)
+    record: dict = {
+        "bench": "engine-kernels",
+        "python": f"{platform.python_implementation()} {platform.python_version()}",
+        "length": length,
+        "repeats": repeats,
+        "kernels": list(KERNELS),
+        "cases": [],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        for case in _bench_cases(length, Path(tmp)):
+            timings: dict[str, float] = {}
+            statistics: dict[str, dict] = {}
+            for kernel in KERNELS:
+                timings[kernel], statistics[kernel] = _measure(
+                    case, system, kernel, repeats, warmup_fraction
+                )
+            if statistics["reference"] != statistics["fast"]:
+                diverging = sorted(
+                    key
+                    for key in statistics["reference"]
+                    if statistics["reference"][key] != statistics["fast"][key]
+                )
+                raise BenchParityError(
+                    f"{case.name}: kernels disagree on {diverging} — "
+                    f"fast-kernel results are not trustworthy"
+                )
+            accesses = len(case.trace)
+            reference_aps = accesses / timings["reference"]
+            fast_aps = accesses / timings["fast"]
+            record["cases"].append(
+                {
+                    "name": case.name,
+                    "workload": case.workload,
+                    "configuration": case.configuration,
+                    "description": case.description,
+                    "accesses": accesses,
+                    "reference_accesses_per_second": round(reference_aps),
+                    "fast_accesses_per_second": round(fast_aps),
+                    "speedup": round(fast_aps / reference_aps, 2),
+                    "parity": True,
+                }
+            )
+    record["packed_trace_speedup"] = next(
+        case["speedup"] for case in record["cases"] if case["name"] == "replay-hot"
+    )
+    return record
+
+
+def render_bench(record: dict) -> str:
+    """The bench record as the aligned text table the CLI prints."""
+
+    lines = [
+        f"engine kernel benchmark ({record['python']}, "
+        f"best of {record['repeats']}, parity-checked)",
+        f"{'case':<18} {'config':<10} {'accesses':>9} "
+        f"{'reference/s':>12} {'fast/s':>12} {'speedup':>8}",
+    ]
+    for case in record["cases"]:
+        lines.append(
+            f"{case['name']:<18} {case['configuration']:<10} "
+            f"{case['accesses']:>9} "
+            f"{case['reference_accesses_per_second']:>12,} "
+            f"{case['fast_accesses_per_second']:>12,} "
+            f"{case['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(record: dict, path: str | Path) -> Path:
+    """Write the record as stable, diff-friendly JSON; returns the path."""
+
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim for tooling
+    """Allow ``python -m repro.experiments.bench`` in scripts."""
+
+    record = run_bench()
+    print(render_bench(record))
+    write_bench(record, BENCH_FILENAME)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

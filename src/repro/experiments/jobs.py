@@ -381,7 +381,7 @@ def clear_trace_memo() -> None:
     _TRACE_MEMO.clear()
 
 
-def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
+def execute_spec(spec: RunSpec, trace=None, kernel: str | None = None) -> SimulationStats:
     """Run the simulation a spec describes and return its statistics.
 
     This is the worker function of :mod:`repro.experiments.parallel`: it
@@ -391,6 +391,11 @@ def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
     the *single* place a spec becomes a run — every prefetcher stack
     resolves through the configuration registry — so serial and pool
     results can never diverge.
+
+    ``kernel`` picks the execution kernel (``"fast"`` by default; see
+    :mod:`repro.sim.kernel`).  Both kernels produce bit-identical
+    statistics, so the choice is deliberately *not* part of the spec or of
+    its store key.
     """
 
     # Imported here (not at module top) to keep spec hashing importable
@@ -398,6 +403,7 @@ def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
     # with the configuration registry.
     from repro.experiments.configs import build_prefetchers
     from repro.sim.engine import Simulator
+    from repro.sim.kernel import run_simulation
     from repro.sim.timing import TimingModel
 
     system = spec.system_config()
@@ -415,8 +421,10 @@ def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
         configuration_name=spec.configuration,
     )
     warmup = int(len(trace) * spec.warmup_fraction)
-    result = simulator.run(
+    result = run_simulation(
+        simulator,
         trace,
+        kernel=kernel,
         max_accesses=spec.max_accesses,
         workload_name=spec.workload,
         warmup_accesses=warmup,
@@ -424,13 +432,14 @@ def execute_spec(spec: RunSpec, trace=None) -> SimulationStats:
     return result.stats
 
 
-def execute_multiprogram_spec(spec: MultiProgramSpec):
+def execute_multiprogram_spec(spec: MultiProgramSpec, kernel: str | None = None):
     """Run the multiprogrammed simulation a spec describes.
 
     The multiprogram analogue of :func:`execute_spec`: traces, the shared
     L3/DRAM hierarchy and every core's prefetcher stack are rebuilt from the
     spec alone, so the spec can execute in a pool worker exactly as it does
-    in-process.  Returns a
+    in-process.  ``kernel`` selects the execution kernel exactly as in
+    :func:`execute_spec`.  Returns a
     :class:`~repro.sim.multiprogram.MultiProgramResult`.
     """
 
@@ -458,12 +467,13 @@ def execute_multiprogram_spec(spec: MultiProgramSpec):
         workload_names=list(spec.workloads),
         max_accesses_per_core=cap,
         warmup_accesses_per_core=warmup,
+        kernel=kernel,
     )
 
 
-def execute(spec):
+def execute(spec, kernel: str | None = None):
     """Run any spec kind (the batch executor's single worker entry point)."""
 
     if isinstance(spec, MultiProgramSpec):
-        return execute_multiprogram_spec(spec)
-    return execute_spec(spec)
+        return execute_multiprogram_spec(spec, kernel=kernel)
+    return execute_spec(spec, kernel=kernel)

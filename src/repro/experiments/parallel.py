@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 from repro.experiments.jobs import execute
@@ -38,11 +39,16 @@ class BatchExecutor:
     ``store=None`` disables persistence (every spec is executed); ``jobs``
     caps the worker processes — ``1`` keeps everything in-process, which is
     also the fallback when a batch has a single miss (spawning a pool for
-    one job costs more than it saves).
+    one job costs more than it saves).  ``kernel`` selects the execution
+    kernel for every miss (``None`` resolves to the fast kernel, or the
+    ``REPRO_KERNEL`` environment override); it travels to pool workers with
+    the spec, and never affects results or store keys — both kernels are
+    bit-identical.
     """
 
     store: ResultStore | None = None
     jobs: int = 1
+    kernel: str | None = None
 
     def run(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
         """Execute a batch; returns a spec → result mapping for unique specs.
@@ -72,13 +78,14 @@ class BatchExecutor:
             if self.store is not None:
                 self.store.put(spec, result)
 
+        run_one = partial(execute, kernel=self.kernel)
         if self.jobs > 1 and len(misses) > 1:
             workers = min(self.jobs, len(misses))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute, spec): spec for spec in misses}
+                futures = {pool.submit(run_one, spec): spec for spec in misses}
                 for future in as_completed(futures):
                     complete(futures[future], future.result())
         else:
             for spec in misses:
-                complete(spec, execute(spec))
+                complete(spec, run_one(spec))
         return results

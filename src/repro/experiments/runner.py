@@ -74,6 +74,10 @@ class ExperimentRunner:
     jobs: int = 1
     #: result store; ``None`` means the process-wide default store.
     store: ResultStore | None = None
+    #: execution kernel for simulations this runner launches; ``None``
+    #: resolves to the fast kernel (or the ``REPRO_KERNEL`` environment
+    #: override) — see :mod:`repro.sim.kernel`.  Never part of results.
+    kernel: str | None = None
 
     # -- the spec → executor → store plumbing --------------------------------
     def spec_for(
@@ -132,7 +136,7 @@ class ExperimentRunner:
         return self.store if self.store is not None else default_store()
 
     def _executor(self) -> BatchExecutor:
-        return BatchExecutor(store=self._store(), jobs=self.jobs)
+        return BatchExecutor(store=self._store(), jobs=self.jobs, kernel=self.kernel)
 
     def submit(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
         """Batch-run arbitrary specs (both kinds) through executor and store."""

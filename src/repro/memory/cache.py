@@ -14,11 +14,25 @@ are issued but only become usable once their fill would have completed; a
 demand access that arrives earlier pays the remaining latency.  This is how
 the model captures *timeliness*, which is the property Triangel's lookahead
 and degree mechanisms exist to improve.
+
+This module sits on the simulation hot path — every demand access probes or
+touches two to four cache levels, and prefetch fills add several more — so
+it is written for per-access cost:
+
+* tag lookup is a per-set ``{tag: way}`` dictionary kept in lockstep with
+  the line array (``_find_way`` is one hash probe, not a way scan);
+* set/tag decomposition uses precomputed shifts when the geometry is a
+  power of two (it always is in practice), falling back to division
+  otherwise;
+* :meth:`access` and :meth:`fill` return *reusable scratch* outcome
+  objects — each call overwrites the instance returned by the previous
+  call on the same cache, so callers must consume an outcome before
+  touching the cache again (every caller in the repository does).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memory.address import CACHE_LINE_SIZE, line_address
 from repro.memory.replacement import ReplacementPolicy, make_replacement_policy
@@ -48,7 +62,7 @@ class CacheLine:
         self.fill_time = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss and prefetch-related counters for one cache level."""
 
@@ -71,22 +85,24 @@ class CacheStats:
         return self.misses / total if total else 0.0
 
     def reset(self) -> None:
-        for name in (
-            "hits",
-            "misses",
-            "demand_accesses",
-            "prefetch_fills",
-            "prefetch_first_uses",
-            "prefetched_evicted_unused",
-            "writebacks",
-            "invalidations",
-        ):
-            setattr(self, name, 0)
+        self.hits = 0
+        self.misses = 0
+        self.demand_accesses = 0
+        self.prefetch_fills = 0
+        self.prefetch_first_uses = 0
+        self.prefetched_evicted_unused = 0
+        self.writebacks = 0
+        self.invalidations = 0
 
 
 @dataclass(slots=True)
 class AccessOutcome:
-    """Result of a demand lookup in one cache level."""
+    """Result of a demand lookup in one cache level.
+
+    :meth:`SetAssociativeCache.access` returns a per-cache scratch instance,
+    overwritten by the next ``access`` on the same cache — read it before
+    accessing again, and copy the fields out if they must survive.
+    """
 
     hit: bool
     first_prefetch_use: bool = False
@@ -96,7 +112,12 @@ class AccessOutcome:
 
 @dataclass(slots=True)
 class EvictionInfo:
-    """Description of a line displaced by a fill."""
+    """Description of a line displaced by a fill.
+
+    Like :class:`AccessOutcome`, instances returned by
+    :meth:`SetAssociativeCache.fill` are per-cache scratch, valid until the
+    next eviction on the same cache.
+    """
 
     address: int
     dirty: bool
@@ -122,6 +143,25 @@ class SetAssociativeCache:
         :func:`repro.memory.replacement.make_replacement_policy` or an
         already-constructed :class:`ReplacementPolicy`.
     """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "assoc",
+        "line_size",
+        "num_sets",
+        "policy",
+        "stats",
+        "_sets",
+        "_tag_maps",
+        "_all_ways",
+        "_line_bits",
+        "_set_mask",
+        "_set_bits",
+        "_policy_observe",
+        "_scratch_outcome",
+        "_scratch_eviction",
+    )
 
     def __init__(
         self,
@@ -150,33 +190,57 @@ class SetAssociativeCache:
         self._sets: list[list[CacheLine]] = [
             [CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)
         ]
+        #: Per-set ``{tag: way}`` index mirroring ``_sets``; every fill,
+        #: eviction and invalidation updates it, making lookups O(1).
+        self._tag_maps: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self._all_ways = tuple(range(assoc))
+        # Shift/mask decomposition (power-of-two geometries, i.e. all of
+        # them): line number = address >> _line_bits, set = line & _set_mask,
+        # tag = line >> num_sets.bit_length()-1.  ``_set_mask`` is None when
+        # either quantity is not a power of two and locate() divides instead.
+        if line_size & (line_size - 1) == 0 and self.num_sets & (self.num_sets - 1) == 0:
+            self._line_bits = line_size.bit_length() - 1
+            self._set_mask = self.num_sets - 1
+            self._set_bits = self.num_sets.bit_length() - 1
+        else:
+            self._line_bits = 0
+            self._set_mask = None
+            self._set_bits = 0
+        # The policy's optional miss-stream hook, resolved once: a
+        # per-access getattr() was measurable on the hot path.
+        self._policy_observe = getattr(self.policy, "observe", None)
         self.stats = CacheStats()
+        self._scratch_outcome = AccessOutcome(hit=False)
+        self._scratch_eviction = EvictionInfo(
+            address=0, dirty=False, prefetched_unused=False
+        )
 
     # -- address decomposition -------------------------------------------
     def locate(self, address: int) -> tuple[int, int]:
         """Return ``(set_index, tag)`` for a byte address."""
 
+        mask = self._set_mask
+        if mask is not None:
+            line = address >> self._line_bits
+            return line & mask, line >> self._set_bits
         line = line_address(address) // self.line_size
         return line % self.num_sets, line // self.num_sets
 
     def _find_way(self, set_index: int, tag: int) -> int | None:
-        for way, line in enumerate(self._sets[set_index]):
-            if line.valid and line.tag == tag:
-                return way
-        return None
+        return self._tag_maps[set_index].get(tag)
 
     # -- queries -----------------------------------------------------------
     def probe(self, address: int) -> bool:
         """Return whether the line is present, without touching any state."""
 
         set_index, tag = self.locate(address)
-        return self._find_way(set_index, tag) is not None
+        return tag in self._tag_maps[set_index]
 
     def get_line(self, address: int) -> CacheLine | None:
         """Return the resident line for ``address`` (no state change)."""
 
         set_index, tag = self.locate(address)
-        way = self._find_way(set_index, tag)
+        way = self._tag_maps[set_index].get(tag)
         return self._sets[set_index][way] if way is not None else None
 
     def resident_line_addresses(self) -> list[int]:
@@ -199,31 +263,41 @@ class SetAssociativeCache:
         is_write: bool = False,
         now: float = 0.0,
     ) -> AccessOutcome:
-        """Perform a demand lookup, updating replacement and prefetch state."""
+        """Perform a demand lookup, updating replacement and prefetch state.
+
+        Returns the cache's scratch :class:`AccessOutcome` (see class docs).
+        """
 
         set_index, tag = self.locate(address)
-        self.stats.demand_accesses += 1
-        self._observe(set_index, address, pc)
-        way = self._find_way(set_index, tag)
+        stats = self.stats
+        stats.demand_accesses += 1
+        observe = self._policy_observe
+        if observe is not None:
+            observe(set_index, address, pc)
+        way = self._tag_maps[set_index].get(tag)
+        outcome = self._scratch_outcome
         if way is None:
-            self.stats.misses += 1
-            return AccessOutcome(hit=False)
+            stats.misses += 1
+            outcome.hit = False
+            outcome.first_prefetch_use = False
+            outcome.ready_cycle = 0.0
+            outcome.line_pc = None
+            return outcome
         line = self._sets[set_index][way]
-        self.stats.hits += 1
+        stats.hits += 1
         first_use = False
         if line.prefetched and not line.used_since_prefetch:
             line.used_since_prefetch = True
             first_use = True
-            self.stats.prefetch_first_uses += 1
+            stats.prefetch_first_uses += 1
         if is_write:
             line.dirty = True
         self.policy.on_hit(set_index, way, pc)
-        return AccessOutcome(
-            hit=True,
-            first_prefetch_use=first_use,
-            ready_cycle=line.ready_cycle,
-            line_pc=line.pc,
-        )
+        outcome.hit = True
+        outcome.first_prefetch_use = first_use
+        outcome.ready_cycle = line.ready_cycle
+        outcome.line_pc = line.pc
+        return outcome
 
     def fill(
         self,
@@ -234,10 +308,14 @@ class SetAssociativeCache:
         ready_cycle: float = 0.0,
         now: float = 0.0,
     ) -> EvictionInfo | None:
-        """Insert a line (demand fill or prefetch fill); return the victim, if any."""
+        """Insert a line (demand fill or prefetch fill); return the victim, if any.
+
+        The returned victim is the cache's scratch :class:`EvictionInfo`
+        (see class docs).
+        """
 
         set_index, tag = self.locate(address)
-        existing = self._find_way(set_index, tag)
+        existing = self._tag_maps[set_index].get(tag)
         if existing is not None:
             # Re-filling a resident line (e.g. a prefetch racing a demand
             # fill): refresh flags without evicting anything.
@@ -251,7 +329,6 @@ class SetAssociativeCache:
             return None
         if prefetched:
             self.stats.prefetch_fills += 1
-        victim_info = None
         way, victim_info = self._choose_victim(set_index)
         line = self._sets[set_index][way]
         line.valid = True
@@ -262,37 +339,47 @@ class SetAssociativeCache:
         line.pc = pc
         line.ready_cycle = ready_cycle
         line.fill_time = now
+        self._tag_maps[set_index][tag] = way
         self.policy.on_fill(set_index, way, pc)
         return victim_info
 
-    def _candidate_ways(self, set_index: int) -> list[int]:
-        """Ways eligible to hold data; the partitioned L3 narrows this."""
+    def _candidate_ways(self, set_index: int):
+        """Ways eligible to hold data; the partitioned L3 narrows this.
 
-        return list(range(self.assoc))
+        Returns a shared tuple — callers must not mutate it (none do).
+        """
+
+        return self._all_ways
 
     def _choose_victim(self, set_index: int) -> tuple[int, EvictionInfo | None]:
         candidates = self._candidate_ways(set_index)
-        ways = self._sets[set_index]
-        for way in candidates:
-            if not ways[way].valid:
-                return way, None
+        # Valid lines always live within the candidate ways (the partitioned
+        # L3 evicts data out of ways it reserves), so the tag map's size says
+        # whether an invalid way exists at all — a full set, the steady
+        # state, skips the scan entirely.
+        if len(self._tag_maps[set_index]) < len(candidates):
+            ways = self._sets[set_index]
+            for way in candidates:
+                if not ways[way].valid:
+                    return way, None
         way = self.policy.victim(set_index, candidates)
         return way, self._evict(set_index, way)
 
     def _evict(self, set_index: int, way: int) -> EvictionInfo:
         line = self._sets[set_index][way]
+        stats = self.stats
         address = (line.tag * self.num_sets + set_index) * self.line_size
         prefetched_unused = line.prefetched and not line.used_since_prefetch
         if prefetched_unused:
-            self.stats.prefetched_evicted_unused += 1
+            stats.prefetched_evicted_unused += 1
         if line.dirty:
-            self.stats.writebacks += 1
-        info = EvictionInfo(
-            address=address,
-            dirty=line.dirty,
-            prefetched_unused=prefetched_unused,
-            pc=line.pc,
-        )
+            stats.writebacks += 1
+        info = self._scratch_eviction
+        info.address = address
+        info.dirty = line.dirty
+        info.prefetched_unused = prefetched_unused
+        info.pc = line.pc
+        del self._tag_maps[set_index][line.tag]
         line.reset()
         self.policy.on_invalidate(set_index, way)
         return info
@@ -301,10 +388,11 @@ class SetAssociativeCache:
         """Remove the line for ``address`` if present; return whether it was."""
 
         set_index, tag = self.locate(address)
-        way = self._find_way(set_index, tag)
+        way = self._tag_maps[set_index].get(tag)
         if way is None:
             return False
         self.stats.invalidations += 1
+        del self._tag_maps[set_index][tag]
         self._sets[set_index][way].reset()
         self.policy.on_invalidate(set_index, way)
         return True
@@ -317,12 +405,6 @@ class SetAssociativeCache:
             return False
         line.dirty = True
         return True
-
-    # -- internals ----------------------------------------------------------
-    def _observe(self, set_index: int, address: int, pc: int | None) -> None:
-        observe = getattr(self.policy, "observe", None)
-        if observe is not None:
-            observe(set_index, address, pc)
 
     @property
     def capacity_lines(self) -> int:

@@ -14,11 +14,17 @@ at cycle *t* for a line that hits in the L3 becomes usable at
 arrives before the line is ready stalls for the difference, so late (but
 correct) prefetches recover only part of the miss latency — exactly the
 effect Triangel's lookahead-2 and degree-4 aggression exist to fix.
+
+Both demand and prefetch entry points take an optional ``out`` result to
+mutate instead of allocating: the execution kernels pass one scratch
+:class:`DemandResult`/:class:`PrefetchFillResult` per run, so the hot path
+allocates nothing per access.  Without ``out`` a fresh result is returned,
+which is what tests and interactive exploration want.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memory.address import line_address
 from repro.memory.cache import SetAssociativeCache
@@ -78,7 +84,7 @@ class PrefetchFillResult:
     latency: float
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Aggregate counters that the experiment harness normalises."""
 
@@ -103,6 +109,8 @@ class MemoryHierarchy:
     shared between two hierarchies for the multiprogrammed experiments
     (figure 16); pass them explicitly in that case.
     """
+
+    __slots__ = ("params", "l1d", "l2", "l3", "dram", "stats", "l2_fill_count")
 
     def __init__(
         self,
@@ -141,65 +149,129 @@ class MemoryHierarchy:
         address: int,
         is_write: bool = False,
         now: float = 0.0,
+        out: DemandResult | None = None,
     ) -> DemandResult:
-        """Perform a demand access; return the level serviced and the latency."""
+        """Perform a demand access; return the level serviced and the latency.
 
-        p = self.params
+        When ``out`` is given it is overwritten and returned (the kernels'
+        allocation-free path); otherwise a fresh result is allocated.
+        """
+
         line = line_address(address)
         self.stats.demand_accesses += 1
 
         l1_outcome = self.l1d.access(line, pc, is_write, now)
         if l1_outcome.hit:
-            stall = max(0.0, l1_outcome.ready_cycle - now)
+            stall = l1_outcome.ready_cycle - now
+            if stall < 0.0:
+                stall = 0.0
             self.stats.late_prefetch_stall_cycles += stall
-            return DemandResult(
-                level="l1",
-                latency=p.l1_latency + stall,
-                line_address=line,
-                l1_prefetch_first_use=l1_outcome.first_prefetch_use,
-                late_prefetch_stall=stall,
-            )
+            if out is None:
+                return DemandResult(
+                    level="l1",
+                    latency=self.params.l1_latency + stall,
+                    line_address=line,
+                    l1_prefetch_first_use=l1_outcome.first_prefetch_use,
+                    late_prefetch_stall=stall,
+                )
+            out.level = "l1"
+            out.latency = self.params.l1_latency + stall
+            out.line_address = line
+            out.l2_miss = False
+            out.l2_prefetch_first_use = False
+            out.l1_prefetch_first_use = l1_outcome.first_prefetch_use
+            out.late_prefetch_stall = stall
+            return out
+        return self.demand_after_l1_miss(line, pc, is_write, now, out)
 
+    def demand_after_l1_miss(
+        self,
+        line: int,
+        pc: int,
+        is_write: bool,
+        now: float,
+        out: DemandResult | None = None,
+    ) -> DemandResult:
+        """Continue a demand access below a missing L1 (kernel entry point).
+
+        ``line`` is the line-aligned address; the caller has already charged
+        the hierarchy-level access counter and performed (and missed) the L1
+        lookup.  The fused kernel inlines the L1 probe and jumps straight
+        here, so the L1 fast path costs no extra calls.
+        """
+
+        p = self.params
         l2_outcome = self.l2.access(line, pc, is_write, now)
         if l2_outcome.hit:
-            stall = max(0.0, l2_outcome.ready_cycle - now)
+            stall = l2_outcome.ready_cycle - now
+            if stall < 0.0:
+                stall = 0.0
             self.stats.late_prefetch_stall_cycles += stall
+            first_use = l2_outcome.first_prefetch_use
             self._fill_l1(line, pc, is_write, now)
-            return DemandResult(
-                level="l2",
-                latency=p.l1_latency + p.l2_latency + stall,
-                line_address=line,
-                l2_prefetch_first_use=l2_outcome.first_prefetch_use,
-                late_prefetch_stall=stall,
-            )
+            if out is None:
+                return DemandResult(
+                    level="l2",
+                    latency=p.l1_latency + p.l2_latency + stall,
+                    line_address=line,
+                    l2_prefetch_first_use=first_use,
+                    late_prefetch_stall=stall,
+                )
+            out.level = "l2"
+            out.latency = p.l1_latency + p.l2_latency + stall
+            out.line_address = line
+            out.l2_miss = False
+            out.l2_prefetch_first_use = first_use
+            out.l1_prefetch_first_use = False
+            out.late_prefetch_stall = stall
+            return out
 
         # The access missed the L2: this is a demand L2 miss regardless of
         # where it is eventually serviced, and it is what the temporal
         # prefetchers train on (together with tagged prefetch hits).
-        self.stats.l2_demand_misses += 1
-        self.stats.l3_data_accesses += 1
+        stats = self.stats
+        stats.l2_demand_misses += 1
+        stats.l3_data_accesses += 1
         l3_outcome = self.l3.access(line, pc, is_write, now)
         base_latency = p.l1_latency + p.l2_latency + p.l3_latency
         if l3_outcome.hit:
             self._fill_l2(line, pc, is_write, now)
             self._fill_l1(line, pc, is_write, now)
-            return DemandResult(
-                level="l3",
-                latency=base_latency,
-                line_address=line,
-                l2_miss=True,
-            )
+            if out is None:
+                return DemandResult(
+                    level="l3",
+                    latency=base_latency,
+                    line_address=line,
+                    l2_miss=True,
+                )
+            out.level = "l3"
+            out.latency = base_latency
+            out.line_address = line
+            out.l2_miss = True
+            out.l2_prefetch_first_use = False
+            out.l1_prefetch_first_use = False
+            out.late_prefetch_stall = 0.0
+            return out
 
         dram_latency = self.dram.access(now + base_latency, is_write=False)
         self._fill_l3(line, pc, is_write, now)
         self._fill_l2(line, pc, is_write, now)
         self._fill_l1(line, pc, is_write, now)
-        return DemandResult(
-            level="dram",
-            latency=base_latency + dram_latency,
-            line_address=line,
-            l2_miss=True,
-        )
+        if out is None:
+            return DemandResult(
+                level="dram",
+                latency=base_latency + dram_latency,
+                line_address=line,
+                l2_miss=True,
+            )
+        out.level = "dram"
+        out.latency = base_latency + dram_latency
+        out.line_address = line
+        out.l2_miss = True
+        out.l2_prefetch_first_use = False
+        out.l1_prefetch_first_use = False
+        out.late_prefetch_stall = 0.0
+        return out
 
     # -- prefetch paths --------------------------------------------------------
     def prefetch_fill(
@@ -209,6 +281,7 @@ class MemoryHierarchy:
         now: float,
         extra_latency: float = 0.0,
         target_level: str = "l2",
+        out: PrefetchFillResult | None = None,
     ) -> PrefetchFillResult:
         """Bring ``address`` into ``target_level`` on behalf of a prefetcher.
 
@@ -216,16 +289,22 @@ class MemoryHierarchy:
         (e.g. the 25-cycle Markov-table lookup); it pushes back the line's
         ready time.  The L3 lookup performed to source the data is charged as
         an L3 data access; a miss there goes to DRAM and is charged as a
-        prefetch fill.
+        prefetch fill.  ``out``, when given, is overwritten and returned.
         """
 
         p = self.params
         line = line_address(address)
         target = self.l2 if target_level == "l2" else self.l1d
         if target.probe(line):
-            return PrefetchFillResult(
-                already_present=True, from_dram=False, ready_cycle=now, latency=0.0
-            )
+            if out is None:
+                return PrefetchFillResult(
+                    already_present=True, from_dram=False, ready_cycle=now, latency=0.0
+                )
+            out.already_present = True
+            out.from_dram = False
+            out.ready_cycle = now
+            out.latency = 0.0
+            return out
 
         self.stats.l3_data_accesses += 1
         if self.l3.probe(line):
@@ -247,12 +326,18 @@ class MemoryHierarchy:
         else:
             self._fill_l1(line, pc, False, now, prefetched=True, ready_cycle=ready)
             self._fill_l2(line, pc, False, now, prefetched=True, ready_cycle=ready)
-        return PrefetchFillResult(
-            already_present=False,
-            from_dram=from_dram,
-            ready_cycle=ready,
-            latency=latency,
-        )
+        if out is None:
+            return PrefetchFillResult(
+                already_present=False,
+                from_dram=from_dram,
+                ready_cycle=ready,
+                latency=latency,
+            )
+        out.already_present = False
+        out.from_dram = from_dram
+        out.ready_cycle = ready
+        out.latency = latency
+        return out
 
     def record_markov_access(self, count: int = 1) -> None:
         """Charge ``count`` Markov-table accesses against the L3 (section 5)."""

@@ -29,6 +29,13 @@ class PartitionedCache(SetAssociativeCache):
     reserved ways; shrinking simply makes the ways available again.
     """
 
+    __slots__ = (
+        "max_reserved_ways",
+        "_reserved_ways",
+        "partition_resizes",
+        "lines_displaced_by_partition",
+    )
+
     def __init__(
         self,
         name: str,
@@ -79,7 +86,17 @@ class PartitionedCache(SetAssociativeCache):
                 for way in range(self.assoc - ways, self.assoc - self._reserved_ways):
                     line = self._sets[set_index][way]
                     if line.valid:
-                        displaced.append(self._evict(set_index, way))
+                        # _evict returns the cache's scratch record; copy it,
+                        # since this list outlives the next eviction.
+                        info = self._evict(set_index, way)
+                        displaced.append(
+                            EvictionInfo(
+                                address=info.address,
+                                dirty=info.dirty,
+                                prefetched_unused=info.prefetched_unused,
+                                pc=info.pc,
+                            )
+                        )
             self.lines_displaced_by_partition += len(displaced)
         self._reserved_ways = ways
         self.partition_resizes += 1

@@ -77,8 +77,21 @@ class LRUPolicy(ReplacementPolicy):
         self._touch(set_index, way)
 
     def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        # Manual scan (not min(key=...)): victim selection runs once per
+        # eviction on the hot path, and the closure-per-call spelling was
+        # measurable.  Ties keep the first candidate, exactly as min() did.
+        if not candidates:
+            raise ValueError("victim() needs at least one candidate way")
         stamps = self._last_use[set_index]
-        return min(candidates, key=lambda way: stamps[way])
+        iterator = iter(candidates)
+        best = next(iterator)
+        best_stamp = stamps[best]
+        for way in iterator:
+            stamp = stamps[way]
+            if stamp < best_stamp:
+                best = way
+                best_stamp = stamp
+        return best
 
     def on_invalidate(self, set_index: int, way: int) -> None:
         self._last_use[set_index][way] = -1
@@ -156,7 +169,11 @@ class TreePLRUPolicy(ReplacementPolicy):
         # Fallback recency for candidate-restricted victim selection.
         self._lru = LRUPolicy(num_sets, assoc)
 
-    def _touch(self, set_index: int, way: int) -> None:
+    def on_hit(self, set_index: int, way: int, pc: int | None = None) -> None:
+        # The tree walk and the fallback-LRU stamp are written out inline:
+        # this runs on every hit of every PLRU cache (the L1's entire hot
+        # path), where the former _touch → LRU.on_hit → LRU._touch call
+        # chain was measurable.
         bits = self._bits[set_index]
         node = 0
         low, high = 0, self._leaves
@@ -170,13 +187,13 @@ class TreePLRUPolicy(ReplacementPolicy):
                 bits[node] = 0
                 node = 2 * node + 2
                 low = mid
-        self._lru.on_hit(set_index, way)
+        lru = self._lru
+        lru._stamp += 1
+        lru._last_use[set_index][way] = lru._stamp
 
-    def on_fill(self, set_index: int, way: int, pc: int | None = None) -> None:
-        self._touch(set_index, way)
-
-    def on_hit(self, set_index: int, way: int, pc: int | None = None) -> None:
-        self._touch(set_index, way)
+    # Fills and explicit touches update exactly the same state.
+    on_fill = on_hit
+    _touch = on_hit
 
     def victim(self, set_index: int, candidates: Sequence[int]) -> int:
         bits = self._bits[set_index]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
 class AccessType(enum.Enum):
@@ -14,9 +14,15 @@ class AccessType(enum.Enum):
     PREFETCH = "prefetch"
 
 
-@dataclass(frozen=True, slots=True)
-class MemoryAccess:
+class MemoryAccess(NamedTuple):
     """A single demand memory access from the trace.
+
+    A named tuple rather than a dataclass: the object API survives for
+    tests, tooling and the reference engine, but constructing millions of
+    frozen dataclasses (each ``__init__`` routed through
+    ``object.__setattr__``) was one of the measured per-access costs the
+    columnar hot path exists to avoid — and the named tuple makes the
+    residual object path several times cheaper too.
 
     Attributes
     ----------
@@ -38,4 +44,10 @@ class MemoryAccess:
 
     @property
     def access_type(self) -> AccessType:
-        return AccessType.STORE if self.is_write else AccessType.LOAD
+        # Bound once at class-definition time: resolving an enum member is a
+        # metaclass ``__getattr__`` walk, which must not run per access.
+        return _STORE if self.is_write else _LOAD
+
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE

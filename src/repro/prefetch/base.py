@@ -1,12 +1,17 @@
 """Common prefetcher interface.
 
 Every prefetcher in the model — the stride baseline, Triage and Triangel —
-implements :class:`Prefetcher`.  The simulation engine calls
-:meth:`Prefetcher.observe` once per demand access with the outcome of that
-access (which level hit, whether the L2 missed, whether a previously
-prefetched line was used for the first time) and receives back a list of
-:class:`PrefetchDecision` records describing the lines to bring in.  The
-engine then performs the fills and attributes traffic and accuracy.
+implements :class:`Prefetcher`.  The simulation engine invokes each
+prefetcher once per demand access with the outcome of that access (which
+level hit, whether the L2 missed, whether a previously prefetched line was
+used for the first time) and receives back :class:`PrefetchDecision`
+records describing the lines to bring in.  The engine then performs the
+fills and attributes traffic and accuracy.
+
+The hot-path spelling is :meth:`Prefetcher.observe_into`, which *emits*
+decisions into a reusable :class:`DecisionBuffer` owned by the caller, so
+observing an access allocates nothing; :meth:`Prefetcher.observe` wraps it
+to return a plain list for tests and the readable reference engine.
 
 Keeping the interface observation-based (rather than letting prefetchers
 mutate caches directly) matches the hardware structure — prefetchers snoop
@@ -17,7 +22,8 @@ unit-testable on synthetic access sequences without a full hierarchy.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.memory.hierarchy import DemandResult, MemoryHierarchy
 
@@ -47,7 +53,68 @@ class PrefetchDecision:
     metadata_source: str = "markov"
 
 
-@dataclass
+class DecisionBuffer:
+    """A reusable sink for the prefetch decisions of one observation.
+
+    Prefetchers emit into a buffer instead of building a fresh list per
+    access: the engine clears one buffer, passes it to
+    :meth:`Prefetcher.observe_into`, and iterates the emitted decisions.
+    Slots are :class:`PrefetchDecision` instances recycled across
+    :meth:`clear` calls, so a steady-state simulation allocates nothing per
+    access — which also means a decision read from a buffer is only valid
+    until that buffer's next ``clear``.  (:meth:`Prefetcher.observe`, the
+    object API, copies out of a fresh buffer instead.)
+    """
+
+    __slots__ = ("_decisions", "count")
+
+    def __init__(self) -> None:
+        self._decisions: list[PrefetchDecision] = []
+        self.count = 0
+
+    def clear(self) -> None:
+        """Forget the previous observation's decisions (slots are kept)."""
+
+        self.count = 0
+
+    def emit(
+        self,
+        address: int,
+        target_level: str = "l2",
+        extra_latency: float = 0.0,
+        metadata_source: str = "markov",
+    ) -> None:
+        """Record one prefetch decision, reusing a slot when one is free."""
+
+        count = self.count
+        decisions = self._decisions
+        if count < len(decisions):
+            decision = decisions[count]
+            decision.address = address
+            decision.target_level = target_level
+            decision.extra_latency = extra_latency
+            decision.metadata_source = metadata_source
+        else:
+            decisions.append(
+                PrefetchDecision(address, target_level, extra_latency, metadata_source)
+            )
+        self.count = count + 1
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[PrefetchDecision]:
+        decisions = self._decisions
+        for index in range(self.count):
+            yield decisions[index]
+
+    def to_list(self) -> list[PrefetchDecision]:
+        """The emitted decisions as a plain list (shares the slot objects)."""
+
+        return self._decisions[: self.count]
+
+
+@dataclass(slots=True)
 class PrefetcherStats:
     """Counters shared by every prefetcher."""
 
@@ -77,6 +144,16 @@ class PrefetcherStats:
 class Prefetcher(ABC):
     """Interface shared by the stride, Triage and Triangel prefetchers."""
 
+    #: Declares whether this prefetcher can react to an access whose result
+    #: has neither ``l2_miss`` nor ``l2_prefetch_first_use`` set.  The
+    #: temporal prefetchers set this ``False`` — their ``observe_into``
+    #: returns before touching *any* state (not even a counter) on such
+    #: accesses — which lets the fast kernel skip the call entirely on the
+    #: (dominant) L1-hit path.  A subclass may only set ``False`` if that
+    #: no-op guarantee holds; the reference engine always calls everything,
+    #: so the kernel-parity suite catches a false declaration.
+    observes_hits: bool = True
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.stats = PrefetcherStats()
@@ -94,10 +171,35 @@ class Prefetcher(ABC):
         self.hierarchy = hierarchy
 
     @abstractmethod
+    def observe_into(
+        self,
+        pc: int,
+        line_addr: int,
+        result: DemandResult,
+        now: float,
+        sink: DecisionBuffer,
+    ) -> None:
+        """Observe one demand access; emit prefetches into ``sink``.
+
+        This is the hot-path entry point: the execution kernels pass a
+        cleared, reusable :class:`DecisionBuffer` so that observing an
+        access allocates nothing.  Implementations append by calling
+        ``sink.emit(...)`` and never clear the sink themselves.
+        """
+
     def observe(
         self, pc: int, line_addr: int, result: DemandResult, now: float
     ) -> list[PrefetchDecision]:
-        """Observe one demand access and return prefetches to issue."""
+        """Observe one demand access and return prefetches to issue.
+
+        The object-returning convenience around :meth:`observe_into`, used
+        by the readable reference engine and by tests.  Each call uses a
+        fresh buffer, so the returned decisions are safe to keep.
+        """
+
+        sink = DecisionBuffer()
+        self.observe_into(pc, line_addr, result, now, sink)
+        return sink.to_list()
 
     def reset_stats(self) -> None:
         self.stats.reset()
@@ -118,7 +220,12 @@ class NullPrefetcher(Prefetcher):
     def __init__(self) -> None:
         super().__init__("none")
 
-    def observe(
-        self, pc: int, line_addr: int, result: DemandResult, now: float
-    ) -> list[PrefetchDecision]:
-        return []
+    def observe_into(
+        self,
+        pc: int,
+        line_addr: int,
+        result: DemandResult,
+        now: float,
+        sink: DecisionBuffer,
+    ) -> None:
+        return None

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.memory.address import CACHE_LINE_SIZE, line_address
 from repro.memory.hierarchy import DemandResult
-from repro.prefetch.base import Prefetcher, PrefetchDecision
+from repro.prefetch.base import DecisionBuffer, Prefetcher
 from repro.utils.hashing import mix64
 
 
@@ -66,31 +66,47 @@ class StridePrefetcher(Prefetcher):
         self.target_level = target_level
         self.min_stride_bytes = min_stride_bytes
         self._table = [StrideEntry() for _ in range(table_size)]
+        # pc → table entry, memoised: the mapping is pure (entries mutate in
+        # place, never move), workloads use few distinct PCs, and the
+        # hash-and-index runs once per simulated access otherwise.  Bounded:
+        # past the cap (an imported trace with a huge PC universe), new PCs
+        # just pay the hash instead of growing the dict without limit.
+        self._entry_memo: dict[int, StrideEntry] = {}
+        self._entry_memo_cap = 16 * table_size
 
-    def _entry(self, pc: int) -> StrideEntry:
-        return self._table[mix64(pc) % self.table_size]
-
-    def observe(
-        self, pc: int, line_addr: int, result: DemandResult, now: float
-    ) -> list[PrefetchDecision]:
-        self.stats.triggers += 1
-        entry = self._entry(pc)
-        decisions: list[PrefetchDecision] = []
+    def observe_into(
+        self,
+        pc: int,
+        line_addr: int,
+        result: DemandResult,
+        now: float,
+        sink: DecisionBuffer,
+    ) -> None:
+        stats = self.stats
+        stats.triggers += 1
+        memo = self._entry_memo
+        entry = memo.get(pc)
+        if entry is None:
+            entry = self._table[mix64(pc) % self.table_size]
+            if len(memo) < self._entry_memo_cap:
+                memo[pc] = entry
         if entry.pc_tag != pc:
             entry.pc_tag = pc
             entry.last_address = line_addr
             entry.stride = 0
             entry.confidence = 0
-            return decisions
+            return
 
         stride = line_addr - entry.last_address
         if stride != 0 and stride == entry.stride:
-            entry.confidence = min(entry.confidence + 1, self.confidence_threshold + 1)
+            confidence = entry.confidence + 1
+            cap = self.confidence_threshold + 1
+            entry.confidence = confidence if confidence < cap else cap
         else:
             entry.stride = stride
             entry.confidence = 1 if stride != 0 else 0
         entry.last_address = line_addr
-        self.stats.training_events += 1
+        stats.training_events += 1
 
         stride_ok = abs(entry.stride) >= self.min_stride_bytes
         should_prefetch = (
@@ -105,21 +121,17 @@ class StridePrefetcher(Prefetcher):
             )
         )
         if not should_prefetch:
-            return decisions
+            return
 
+        l1d = self.hierarchy.l1d if self.hierarchy is not None else None
+        target_level = self.target_level
+        entry_stride = entry.stride
         for distance in range(1, self.degree + 1):
-            target = line_address(line_addr + entry.stride * distance)
+            target = line_address(line_addr + entry_stride * distance)
             if target < 0:
                 break
-            if self.hierarchy is not None and self.hierarchy.l1d.probe(target):
-                self.stats.prefetches_dropped_resident += 1
+            if l1d is not None and l1d.probe(target):
+                stats.prefetches_dropped_resident += 1
                 continue
-            decisions.append(
-                PrefetchDecision(
-                    address=target,
-                    target_level=self.target_level,
-                    metadata_source="stride",
-                )
-            )
-            self.stats.prefetches_issued += 1
-        return decisions
+            sink.emit(target, target_level, 0.0, "stride")
+            stats.prefetches_issued += 1

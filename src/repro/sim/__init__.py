@@ -12,8 +12,10 @@ L3, its Markov partition and the DRAM channel (paper section 6.3).
 
 from repro.sim.config import SystemConfig
 from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.kernel import KERNELS, resolve_kernel, run_simulation
 from repro.sim.multiprogram import MultiProgramResult, MultiProgramSimulator
 from repro.sim.stats import SimulationStats
+from repro.sim.stream import AccessColumns, AccessStream, access_columns
 from repro.sim.timing import TimingModel
 
 __all__ = [
@@ -24,4 +26,10 @@ __all__ = [
     "MultiProgramResult",
     "SimulationStats",
     "TimingModel",
+    "KERNELS",
+    "resolve_kernel",
+    "run_simulation",
+    "AccessColumns",
+    "AccessStream",
+    "access_columns",
 ]

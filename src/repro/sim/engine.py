@@ -6,6 +6,12 @@ Prefetch usefulness is attributed back to the prefetcher that issued the
 fill (temporal vs stride) so that figure 12's accuracy — which concerns the
 temporal prefetcher only — is measured correctly even though both kinds of
 prefetch live in the same caches.
+
+:meth:`Simulator.run` is the **reference kernel**: the readable,
+object-per-access implementation the fused fast kernel
+(:mod:`repro.sim.kernel`) is defined against.  The two must stay
+bit-identical — change behaviour here and the parity suite holds the fast
+kernel to the new definition.
 """
 
 from __future__ import annotations

@@ -1,0 +1,397 @@
+"""Execution kernels: the fused, allocation-free fast path and its dispatch.
+
+Two kernels can drive a simulation:
+
+* the **reference** kernel is :meth:`repro.sim.engine.Simulator.run` — the
+  readable, layered implementation that iterates
+  :class:`~repro.memory.request.MemoryAccess` objects and calls
+  ``Simulator.step`` per access;
+* the **fast** kernel (:func:`run_fast`, this module) runs the same
+  simulation as one fused loop over the workload's packed columns (the
+  :mod:`repro.sim.stream` protocol): no access objects, one scratch
+  :class:`~repro.memory.hierarchy.DemandResult` and
+  :class:`~repro.memory.hierarchy.PrefetchFillResult` per run, one reusable
+  :class:`~repro.prefetch.base.DecisionBuffer` per run, the L1-hit path
+  inlined against the cache's tag index, and every hot attribute bound to a
+  local.
+
+The two kernels must produce **bit-identical**
+:class:`~repro.sim.stats.SimulationStats` (and prefetcher counters) on
+every configuration — the fast kernel performs exactly the reference's
+operations in exactly the reference's order, and the parity matrix in
+``tests/test_kernel.py`` enforces it.  Because results are identical, a
+kernel is an *execution* detail: it is not part of a spec's content hash,
+and results computed by either kernel share one store entry.
+
+Selection: the executor defaults to the fast kernel; ``repro ... --kernel
+reference`` or ``REPRO_KERNEL=reference`` switches a run back to the
+readable implementation (for debugging, or for the bench comparison).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.memory.address import CACHE_LINE_SIZE
+from repro.memory.hierarchy import DemandResult, PrefetchFillResult
+from repro.prefetch.base import DecisionBuffer
+from repro.sim.stats import SimulationStats
+from repro.sim.stream import access_columns
+
+#: Environment variable overriding the kernel for a whole process tree.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: The recognised kernel names.
+KERNELS = ("reference", "fast")
+
+#: What the executor uses when neither a call-site nor the environment says.
+DEFAULT_KERNEL = "fast"
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """The kernel a run should use: explicit choice > environment > default."""
+
+    chosen = kernel or os.environ.get(KERNEL_ENV) or DEFAULT_KERNEL
+    if chosen not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {chosen!r}; expected one of {', '.join(KERNELS)}"
+        )
+    return chosen
+
+
+def run_simulation(
+    simulator,
+    trace,
+    kernel: str | None = None,
+    max_accesses: int | None = None,
+    workload_name: str = "",
+    warmup_accesses: int = 0,
+):
+    """Run ``trace`` on ``simulator`` under the chosen kernel.
+
+    This is the single dispatch point the execution layer calls; both
+    branches return the same :class:`~repro.sim.engine.SimulationResult`
+    with bit-identical statistics.
+    """
+
+    if resolve_kernel(kernel) == "reference":
+        return simulator.run(
+            trace,
+            max_accesses=max_accesses,
+            workload_name=workload_name,
+            warmup_accesses=warmup_accesses,
+        )
+    return run_fast(
+        simulator,
+        trace,
+        max_accesses=max_accesses,
+        workload_name=workload_name,
+        warmup_accesses=warmup_accesses,
+    )
+
+
+class KernelScratch:
+    """Per-core reusable buffers for the allocation-free step.
+
+    One instance serves one simulator for an entire run (the multiprogram
+    driver keeps one per core): the demand result, the prefetch-fill result
+    and the decision buffer are overwritten access after access.  The two
+    prefetcher views are bound on first step: ``hit_prefetchers`` holds
+    only the prefetchers whose :attr:`~repro.prefetch.base.Prefetcher.
+    observes_hits` contract says they can react to an access with neither
+    ``l2_miss`` nor ``l2_prefetch_first_use`` set — the rest are skipped on
+    that (dominant) path because calling them is a guaranteed no-op.
+    """
+
+    __slots__ = ("result", "fill", "buffer", "all_prefetchers", "hit_prefetchers")
+
+    def __init__(self) -> None:
+        self.result = DemandResult(level="l1", latency=0.0, line_address=0)
+        self.fill = PrefetchFillResult(
+            already_present=False, from_dram=False, ready_cycle=0.0, latency=0.0
+        )
+        self.buffer = DecisionBuffer()
+        self.all_prefetchers: list | None = None
+        self.hit_prefetchers: list | None = None
+
+    def bind(self, simulator) -> None:
+        """Capture the simulator's prefetcher stack views once per run."""
+
+        self.all_prefetchers = list(simulator.prefetchers)
+        self.hit_prefetchers = [
+            prefetcher
+            for prefetcher in self.all_prefetchers
+            if prefetcher.observes_hits
+        ]
+
+
+def step_fast(simulator, pc, address, is_write, stats, scratch: KernelScratch) -> None:
+    """One allocation-free access step (the multiprogram fast path).
+
+    Operation-for-operation identical to ``Simulator.step`` — the same
+    hierarchy call, the same timing arithmetic, the same attribution and
+    prefetch-issue order — but writing into ``scratch`` instead of
+    allocating, so the interleaved multiprogram driver gets the same
+    statistics the reference engine produces.
+    """
+
+    timing = simulator.timing
+    now = timing.cycles
+    result = simulator.hierarchy.demand_access(
+        pc, address, is_write, now, scratch.result
+    )
+    level = result.level
+    timing.cycles = now + (
+        timing.params.base_cycles_per_access + timing._weights[level] * result.latency
+    )
+    timing.accesses += 1
+    stats.accesses += 1
+    stats.level_hits[level] += 1
+    line = result.line_address
+    if result.l2_miss:
+        stats.l2_demand_misses += 1
+    if result.l2_prefetch_first_use:
+        simulator._attribute_usefulness(
+            line, stats, late=result.late_prefetch_stall > 0
+        )
+
+    if scratch.all_prefetchers is None:
+        scratch.bind(simulator)
+    buffer = scratch.buffer
+    fill_scratch = scratch.fill
+    source_map = simulator._prefetch_source
+    actives = (
+        scratch.all_prefetchers
+        if (result.l2_miss or result.l2_prefetch_first_use)
+        else scratch.hit_prefetchers
+    )
+    for prefetcher in actives:
+        buffer.count = 0
+        prefetcher.observe_into(pc, line, result, timing.cycles, buffer)
+        if not buffer.count:
+            continue
+        decisions = buffer._decisions
+        for index in range(buffer.count):
+            decision = decisions[index]
+            fill = simulator.hierarchy.prefetch_fill(
+                decision.address,
+                pc,
+                timing.cycles,
+                extra_latency=decision.extra_latency,
+                target_level=decision.target_level,
+                out=fill_scratch,
+            )
+            if fill.already_present:
+                continue
+            if decision.metadata_source == "stride":
+                stats.stride_prefetches_issued += 1
+                source_map[decision.address] = "stride"
+            else:
+                stats.temporal_prefetches_issued += 1
+                source_map[decision.address] = "temporal"
+
+
+def run_fast(
+    simulator,
+    trace,
+    max_accesses: int | None = None,
+    workload_name: str = "",
+    warmup_accesses: int = 0,
+):
+    """The fused columnar loop (see the module docstring).
+
+    Mirrors ``Simulator.run`` statement for statement: the warm-up phase
+    updates a separate statistics object, sampling begins by resetting every
+    counter while preserving warmed state, and the access cap breaks out of
+    the loop before the capped access executes.
+    """
+
+    from repro.sim.engine import SimulationResult
+
+    pcs, addresses, writes, length = access_columns(trace)
+
+    hierarchy = simulator.hierarchy
+    timing = simulator.timing
+    prefetchers = list(simulator.prefetchers)
+    # Prefetchers whose observes_hits contract allows skipping them when an
+    # access neither missed the L2 nor first-used a prefetched L2 line (the
+    # call would be a guaranteed no-op — see Prefetcher.observes_hits).
+    hit_prefetchers = [p for p in prefetchers if p.observes_hits]
+    source_map = simulator._prefetch_source
+
+    stats = SimulationStats(
+        workload=workload_name, configuration=simulator.configuration_name
+    )
+    warmup_stats = SimulationStats(
+        workload=workload_name, configuration=simulator.configuration_name
+    )
+
+    scratch = KernelScratch()
+    result = scratch.result
+    fill_scratch = scratch.fill
+    buffer = scratch.buffer
+
+    # -- hot state bound to locals ----------------------------------------
+    l1 = hierarchy.l1d
+    l1_stats = l1.stats
+    l1_sets = l1._sets
+    l1_tag_maps = l1._tag_maps
+    l1_on_hit = l1.policy.on_hit
+    l1_observe = l1._policy_observe
+    l1_line_bits = l1._line_bits
+    l1_set_mask = l1._set_mask
+    l1_set_bits = l1._set_bits
+    hstats = hierarchy.stats
+    demand_access = hierarchy.demand_access
+    demand_after_l1_miss = hierarchy.demand_after_l1_miss
+    prefetch_fill = hierarchy.prefetch_fill
+    l1_latency = hierarchy.params.l1_latency
+    # The reference path aligns through the global line_address() — which
+    # uses CACHE_LINE_SIZE, not the hierarchy's configured line size — so
+    # the kernel must use the same mask bit-for-bit, even for exotic
+    # HierarchyParams.line_size values.
+    line_mask = -CACHE_LINE_SIZE
+    base_cycles = timing.params.base_cycles_per_access
+    weights = timing.stall_weights()
+    weight_l1 = weights["l1"]
+    level_hits = stats.level_hits
+    warmup_level_hits = warmup_stats.level_hits
+
+    # The timing accumulators live in locals and are flushed back at every
+    # point the shared objects become observable (_begin_sampling reads
+    # timing.cycles; _finalise reads both): identical arithmetic, identical
+    # order, no attribute traffic per access.
+    cycles = timing.cycles
+    timing_accesses = timing.accesses
+
+    warmed = 0
+    sampling = False
+    target_stats = warmup_stats if warmup_accesses > 0 else stats
+    target_hits = warmup_level_hits if warmup_accesses > 0 else level_hits
+
+    index = 0
+    while index < length:
+        if warmed < warmup_accesses:
+            warmed += 1
+        elif not sampling:
+            timing.cycles = cycles
+            timing.accesses = timing_accesses
+            simulator._begin_sampling()
+            sampling = True
+            target_stats = stats
+            target_hits = level_hits
+        if sampling and max_accesses is not None and stats.accesses >= max_accesses:
+            break
+
+        pc = pcs[index]
+        address = addresses[index]
+        is_write = writes[index]
+        index += 1
+
+        # -- demand access (L1-hit path inlined) ---------------------------
+        now = cycles
+        hstats.demand_accesses += 1
+        line = address & line_mask
+        hit_way = None
+        if l1_set_mask is not None:
+            line_number = line >> l1_line_bits
+            set_index = line_number & l1_set_mask
+            tag = line_number >> l1_set_bits
+            l1_stats.demand_accesses += 1
+            if l1_observe is not None:
+                l1_observe(set_index, line, pc)
+            hit_way = l1_tag_maps[set_index].get(tag)
+            if hit_way is None:
+                l1_stats.misses += 1
+                demand_after_l1_miss(line, pc, bool(is_write), now, result)
+            else:
+                l1_stats.hits += 1
+                cache_line = l1_sets[set_index][hit_way]
+                first_use = False
+                if cache_line.prefetched and not cache_line.used_since_prefetch:
+                    cache_line.used_since_prefetch = True
+                    first_use = True
+                    l1_stats.prefetch_first_uses += 1
+                if is_write:
+                    cache_line.dirty = True
+                l1_on_hit(set_index, hit_way, pc)
+                stall = cache_line.ready_cycle - now
+                if stall < 0.0:
+                    stall = 0.0
+                hstats.late_prefetch_stall_cycles += stall
+                result.level = "l1"
+                result.latency = l1_latency + stall
+                result.line_address = line
+                result.l2_miss = False
+                result.l2_prefetch_first_use = False
+                result.l1_prefetch_first_use = first_use
+                result.late_prefetch_stall = stall
+        else:
+            # Non-power-of-two geometry: take the layered path wholesale
+            # (demand_access re-charges the hierarchy counter, so undo the
+            # increment above).
+            hstats.demand_accesses -= 1
+            demand_access(pc, address, bool(is_write), now, result)
+
+        level = result.level
+        if hit_way is not None:
+            cost = base_cycles + weight_l1 * result.latency
+        else:
+            cost = base_cycles + weights[level] * result.latency
+        cycles = now + cost
+        timing_accesses += 1
+
+        target_stats.accesses += 1
+        target_hits[level] += 1
+        if result.l2_miss:
+            target_stats.l2_demand_misses += 1
+        if result.l2_prefetch_first_use:
+            # Rare branch: share the engine's attribution rules rather than
+            # inlining a third copy of them.
+            simulator._attribute_usefulness(
+                line, target_stats, late=result.late_prefetch_stall > 0
+            )
+
+        # -- prefetchers ---------------------------------------------------
+        actives = (
+            prefetchers
+            if (result.l2_miss or result.l2_prefetch_first_use)
+            else hit_prefetchers
+        )
+        for prefetcher in actives:
+            buffer.count = 0
+            prefetcher.observe_into(pc, line, result, cycles, buffer)
+            count = buffer.count
+            if not count:
+                continue
+            decisions = buffer._decisions
+            for decision_index in range(count):
+                decision = decisions[decision_index]
+                fill = prefetch_fill(
+                    decision.address,
+                    pc,
+                    cycles,
+                    extra_latency=decision.extra_latency,
+                    target_level=decision.target_level,
+                    out=fill_scratch,
+                )
+                if fill.already_present:
+                    continue
+                if decision.metadata_source == "stride":
+                    target_stats.stride_prefetches_issued += 1
+                    source_map[decision.address] = "stride"
+                else:
+                    target_stats.temporal_prefetches_issued += 1
+                    source_map[decision.address] = "temporal"
+
+    timing.cycles = cycles
+    timing.accesses = timing_accesses
+    if not sampling:
+        # Warm-up consumed the whole trace: reset the counters anyway so
+        # the (empty) sample reports zeros rather than warm-up activity.
+        simulator._begin_sampling()
+    simulator._finalise(stats)
+    return SimulationResult(
+        stats=stats,
+        prefetcher_stats={p.name: p.stats for p in prefetchers},
+    )

@@ -31,25 +31,38 @@ class TimingModel:
     cycles: float = 0.0
     accesses: int = 0
 
-    def stall_weight(self, level: str) -> float:
-        weights = {
+    def __post_init__(self) -> None:
+        # Built once: assembling this mapping per access was a measured cost
+        # on the hot path.  ``params`` is treated as immutable after
+        # construction throughout the repository.
+        self._weights = {
             "l1": self.params.stall_weight_l1,
             "l2": self.params.stall_weight_l2,
             "l3": self.params.stall_weight_l3,
             "dram": self.params.stall_weight_dram,
         }
+
+    def stall_weight(self, level: str) -> float:
+        """The fraction of a level's latency the core fails to hide."""
+
         try:
-            return weights[level]
+            return self._weights[level]
         except KeyError as exc:
             raise ValueError(f"unknown hierarchy level {level!r}") from exc
+
+    def stall_weights(self) -> dict[str, float]:
+        """A copy of the level → stall-weight table (kernel fast path)."""
+
+        return dict(self._weights)
 
     def cost_of(self, result: DemandResult) -> float:
         """Cycle cost of one demand access."""
 
-        return (
-            self.params.base_cycles_per_access
-            + self.stall_weight(result.level) * result.latency
-        )
+        try:
+            weight = self._weights[result.level]
+        except KeyError as exc:
+            raise ValueError(f"unknown hierarchy level {result.level!r}") from exc
+        return self.params.base_cycles_per_access + weight * result.latency
 
     def account(self, result: DemandResult) -> float:
         """Add one access's cost to the running total and return that cost."""

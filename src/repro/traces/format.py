@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.memory.request import MemoryAccess
+from repro.sim.stream import AccessColumns, expand_write_bitset
 from repro.workloads.trace import LINE_SHIFT, Trace
 
 #: Magic bytes opening every ``.rtrc`` file.
@@ -104,7 +105,15 @@ class PackedTrace:
     nothing per-access is retained.
     """
 
-    __slots__ = ("name", "metadata", "line_shift", "_pcs", "_addresses", "_writes")
+    __slots__ = (
+        "name",
+        "metadata",
+        "line_shift",
+        "_pcs",
+        "_addresses",
+        "_writes",
+        "_write_flags",
+    )
 
     def __init__(
         self,
@@ -125,6 +134,7 @@ class PackedTrace:
         self._pcs = pcs
         self._addresses = addresses
         self._writes = bytes(writes)
+        self._write_flags: bytearray | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -173,6 +183,27 @@ class PackedTrace:
             pc=self._pcs[index],
             address=self._addresses[index],
             is_write=bool(self._writes[index >> 3] >> (index & 7) & 1),
+        )
+
+    # -- the columnar protocol (see repro.sim.stream) ------------------------
+    def access_columns(self) -> AccessColumns:
+        """The stream as position-indexed columns, sharing the storage.
+
+        The pc/address columns are handed over as-is; the on-disk write
+        bitset is expanded to one flag byte per access on first use and
+        memoised (a :class:`PackedTrace` is immutable, so the expansion can
+        never go stale).
+        """
+
+        flags = self._write_flags
+        if flags is None:
+            flags = expand_write_bitset(self._writes, len(self._pcs))
+            self._write_flags = flags
+        return AccessColumns(
+            pcs=self._pcs,
+            addresses=self._addresses,
+            writes=flags,
+            length=len(self._pcs),
         )
 
     def is_write(self, index: int) -> bool:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memory.hierarchy import DemandResult, MemoryHierarchy
-from repro.prefetch.base import Prefetcher, PrefetchDecision
+from repro.prefetch.base import DecisionBuffer, Prefetcher
 from repro.triage.bloom import BloomPartitionSizer
 from repro.triage.markov_table import MarkovTable
 from repro.triage.metadata import make_metadata_format
@@ -75,6 +75,10 @@ class TriageConfig:
 class TriagePrefetcher(Prefetcher):
     """The fixed Triage baseline prefetcher."""
 
+    # observe_into's first statement returns, touching nothing, unless the
+    # access missed the L2 or first-used a prefetched L2 line.
+    observes_hits = False
+
     def __init__(self, config: TriageConfig | None = None, name: str | None = None) -> None:
         self.config = config or TriageConfig()
         if name is None:
@@ -117,18 +121,23 @@ class TriagePrefetcher(Prefetcher):
         )
 
     # -- main entry point --------------------------------------------------------
-    def observe(
-        self, pc: int, line_addr: int, result: DemandResult, now: float
-    ) -> list[PrefetchDecision]:
+    def observe_into(
+        self,
+        pc: int,
+        line_addr: int,
+        result: DemandResult,
+        now: float,
+        sink: DecisionBuffer,
+    ) -> None:
         if not (result.l2_miss or result.l2_prefetch_first_use):
-            return []
+            return
         if self.markov is None or self.sizer is None or self.hierarchy is None:
             raise RuntimeError("TriagePrefetcher must be attached to a hierarchy first")
 
         self.stats.triggers += 1
         self._resize_partition(line_addr)
         self._train(pc, line_addr)
-        return self._generate_prefetches(line_addr)
+        self._generate_prefetches(line_addr, sink)
 
     # -- internals ------------------------------------------------------------------
     def _resize_partition(self, line_addr: int) -> None:
@@ -154,8 +163,7 @@ class TriagePrefetcher(Prefetcher):
             return False
         return self.markov.occupancy() >= limit
 
-    def _generate_prefetches(self, line_addr: int) -> list[PrefetchDecision]:
-        decisions: list[PrefetchDecision] = []
+    def _generate_prefetches(self, line_addr: int, sink: DecisionBuffer) -> None:
         current = line_addr
         accumulated_latency = 0.0
         for _step in range(self.config.degree):
@@ -166,16 +174,8 @@ class TriagePrefetcher(Prefetcher):
             if target is None:
                 break
             if target != current and not self._target_resident(target):
-                decisions.append(
-                    PrefetchDecision(
-                        address=target,
-                        target_level="l2",
-                        extra_latency=accumulated_latency,
-                        metadata_source="markov",
-                    )
-                )
+                sink.emit(target, "l2", accumulated_latency, "markov")
                 self.stats.prefetches_issued += 1
             else:
                 self.stats.prefetches_dropped_resident += 1
             current = target
-        return decisions

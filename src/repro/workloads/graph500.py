@@ -25,7 +25,6 @@ import random
 from collections import deque
 from dataclasses import dataclass
 
-from repro.memory.request import MemoryAccess
 from repro.workloads.trace import Trace
 
 #: Byte sizes of the graph's arrays (per element).
@@ -113,7 +112,7 @@ def generate_graph500_trace(
     def emit(pc: int, address: int, is_write: bool = False) -> bool:
         """Append one access; return False once the trace is full."""
 
-        trace.append(MemoryAccess(pc=pc, address=address, is_write=is_write))
+        trace.append_access(pc, address, is_write)
         return max_accesses is None or len(trace) < max_accesses
 
     done = False

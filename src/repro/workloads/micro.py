@@ -21,7 +21,6 @@ from __future__ import annotations
 import random
 
 from repro.memory.address import CACHE_LINE_SIZE
-from repro.memory.request import MemoryAccess
 from repro.workloads.trace import Trace
 
 
@@ -49,9 +48,7 @@ def generate_pointer_chase_trace(
     trace = Trace(name=name)
     for _repeat in range(repeats):
         for node in order:
-            trace.append(
-                MemoryAccess(pc=pc, address=base_address + node * CACHE_LINE_SIZE)
-            )
+            trace.append_access(pc, base_address + node * CACHE_LINE_SIZE)
     trace.metadata = {
         "generator": "pointer_chase",
         "nodes": nodes,
@@ -73,7 +70,7 @@ def generate_sequential_trace(
         raise ValueError("lines must be positive")
     trace = Trace(name=name)
     for line in range(lines):
-        trace.append(MemoryAccess(pc=pc, address=base_address + line * CACHE_LINE_SIZE))
+        trace.append_access(pc, base_address + line * CACHE_LINE_SIZE)
     trace.metadata = {"generator": "sequential", "lines": lines}
     return trace
 
@@ -94,7 +91,7 @@ def generate_random_trace(
     trace = Trace(name=name)
     for _ in range(accesses):
         line = rng.randrange(footprint_lines)
-        trace.append(MemoryAccess(pc=pc, address=base_address + line * CACHE_LINE_SIZE))
+        trace.append_access(pc, base_address + line * CACHE_LINE_SIZE)
     trace.metadata = {
         "generator": "random",
         "accesses": accesses,

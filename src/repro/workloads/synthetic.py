@@ -27,7 +27,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.memory.address import CACHE_LINE_SIZE, PageMapper
-from repro.memory.request import MemoryAccess
 from repro.workloads.trace import Trace
 
 
@@ -194,7 +193,7 @@ def generate_synthetic_trace(spec: SyntheticWorkloadSpec) -> Trace:
             virtual = chosen.next_virtual_address()
             pc = chosen.pc
             physical = mapper.translate(virtual)
-        trace.append(MemoryAccess(pc=pc, address=physical, is_write=False))
+        trace.append_access(pc, physical, False)
 
     trace.metadata = {
         "generator": "synthetic",

@@ -1,12 +1,24 @@
-"""The trace container shared by all workload generators."""
+"""The trace container shared by all workload generators.
+
+A :class:`Trace` stores its access stream as parallel columns — an
+``array('Q')`` of program counters, an ``array('Q')`` of physical addresses
+and a ``bytearray`` of write flags — rather than a list of per-access
+objects.  Generators append with :meth:`Trace.append_access` (three ints, no
+object construction), the fast kernel reads the columns directly through the
+:class:`~repro.sim.stream.AccessStream` protocol, and the object API
+(:attr:`Trace.accesses`, iteration, indexing) materialises
+:class:`~repro.memory.request.MemoryAccess` values lazily for tests,
+tooling and the reference engine.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 from typing import Iterator
 
 from repro.memory.address import CACHE_LINE_BITS
 from repro.memory.request import MemoryAccess
+from repro.sim.stream import AccessColumns
 
 #: Address bits below the cache-line number.  Trace statistics and the
 #: packed on-disk trace format (:mod:`repro.traces.format`, which records
@@ -16,7 +28,6 @@ from repro.memory.request import MemoryAccess
 LINE_SHIFT = CACHE_LINE_BITS
 
 
-@dataclass
 class Trace:
     """An ordered sequence of demand memory accesses plus provenance metadata.
 
@@ -24,45 +35,127 @@ class Trace:
     ----------
     name:
         Workload name used in reports (e.g. ``"xalan"``).
-    accesses:
-        The access stream, in program order.
     metadata:
         Generator parameters and derived properties (working-set size,
         number of streams, fragmentation, ...), recorded so experiments are
         self-describing.
+
+    The stream itself lives in packed columns; :attr:`accesses` exposes it
+    as a list of :class:`MemoryAccess` objects, built on first use and kept
+    in sync by :meth:`append`/:meth:`append_access`.
     """
 
-    name: str
-    accesses: list[MemoryAccess] = field(default_factory=list)
-    metadata: dict = field(default_factory=dict)
+    __slots__ = ("name", "metadata", "_pcs", "_addresses", "_writes", "_objects")
+
+    def __init__(
+        self,
+        name: str,
+        accesses: list[MemoryAccess] | None = None,
+        metadata: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.metadata = dict(metadata) if metadata else {}
+        self._pcs = array("Q")
+        self._addresses = array("Q")
+        self._writes = bytearray()
+        self._objects: list[MemoryAccess] | None = None
+        for access in accesses or ():
+            self.append(access)
+
+    # -- building ------------------------------------------------------------
+    def append(self, access: MemoryAccess) -> None:
+        """Append one access object (columns and object cache stay in sync)."""
+
+        self._pcs.append(access.pc)
+        self._addresses.append(access.address)
+        self._writes.append(1 if access.is_write else 0)
+        if self._objects is not None:
+            self._objects.append(access)
+
+    def append_access(self, pc: int, address: int, is_write: bool = False) -> None:
+        """Append one access from its fields (the generators' fast path)."""
+
+        self._pcs.append(pc)
+        self._addresses.append(address)
+        self._writes.append(1 if is_write else 0)
+        self._objects = None
+
+    # -- the object facade ---------------------------------------------------
+    @property
+    def accesses(self) -> list[MemoryAccess]:
+        """The stream as access objects (materialised once, then cached).
+
+        Read-only view: extend the trace through :meth:`append` /
+        :meth:`append_access`, never by mutating the returned list — the
+        columns are the source of truth, and a mutated view would silently
+        diverge from them (detected and rejected below).
+        """
+
+        objects = self._objects
+        if objects is None:
+            objects = [
+                MemoryAccess(pc, address, bool(write))
+                for pc, address, write in zip(self._pcs, self._addresses, self._writes)
+            ]
+            self._objects = objects
+        elif len(objects) != len(self._pcs):
+            raise RuntimeError(
+                "Trace.accesses was mutated directly; the packed columns are "
+                "the source of truth — use Trace.append()/append_access()"
+            )
+        return objects
 
     def __iter__(self) -> Iterator[MemoryAccess]:
         return iter(self.accesses)
 
     def __len__(self) -> int:
-        return len(self.accesses)
+        return len(self._pcs)
 
-    def __getitem__(self, index: int) -> MemoryAccess:
-        return self.accesses[index]
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            # The old list-backed container supported slice indexing by
+            # delegating to the list; keep that (a list of access objects).
+            return self.accesses[index]
+        if index < 0:
+            index += len(self._pcs)
+        if not 0 <= index < len(self._pcs):
+            raise IndexError("trace index out of range")
+        return MemoryAccess(
+            self._pcs[index], self._addresses[index], bool(self._writes[index])
+        )
 
-    def append(self, access: MemoryAccess) -> None:
-        self.accesses.append(access)
+    # -- the columnar protocol (see repro.sim.stream) ------------------------
+    def access_columns(self) -> AccessColumns:
+        """The stream's packed columns, shared with the trace (no copy)."""
 
+        return AccessColumns(
+            pcs=self._pcs,
+            addresses=self._addresses,
+            writes=self._writes,
+            length=len(self._pcs),
+        )
+
+    # -- statistics ----------------------------------------------------------
     def unique_lines(self) -> int:
         """Number of distinct cache lines touched (the trace's footprint)."""
 
-        return len({access.address >> LINE_SHIFT for access in self.accesses})
+        return len({address >> LINE_SHIFT for address in self._addresses})
 
     def unique_pcs(self) -> int:
         """Number of distinct PCs appearing in the trace."""
 
-        return len({access.pc for access in self.accesses})
+        return len(set(self._pcs))
 
     def slice(self, start: int, stop: int) -> "Trace":
         """Return a sub-trace covering ``accesses[start:stop]``."""
 
-        return Trace(
-            name=f"{self.name}[{start}:{stop}]",
-            accesses=self.accesses[start:stop],
-            metadata=dict(self.metadata),
-        )
+        start, stop, _ = slice(start, stop).indices(len(self._pcs))
+        stop = max(start, stop)
+        sub = Trace(name=f"{self.name}[{start}:{stop}]", metadata=dict(self.metadata))
+        sub._pcs = self._pcs[start:stop]
+        sub._addresses = self._addresses[start:stop]
+        sub._writes = self._writes[start:stop]
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(name={self.name!r}, accesses={len(self._pcs)})"

@@ -97,12 +97,12 @@ class TestAccessAndFill:
 
 class TestPrefetchTagging:
     def test_first_use_reported_once(self):
+        # access() returns a per-cache scratch outcome, so each one must be
+        # read before the next access on the same cache.
         cache = make_cache()
         cache.fill(0x300, prefetched=True)
-        first = cache.access(0x300)
-        second = cache.access(0x300)
-        assert first.first_prefetch_use
-        assert not second.first_prefetch_use
+        assert cache.access(0x300).first_prefetch_use
+        assert not cache.access(0x300).first_prefetch_use
         assert cache.stats.prefetch_first_uses == 1
 
     def test_unused_prefetch_eviction_counted(self):

@@ -1,0 +1,466 @@
+"""Kernel parity matrix: the fast kernel must be bit-identical everywhere.
+
+The fast kernel (`repro.sim.kernel`) is the executor's default, so its one
+obligation is total: for **every** registered configuration — plain,
+parameterised and multiprogrammed — it must produce exactly the statistics
+the readable reference engine produces, counter for counter, cold and
+against a warm store.  These tests enforce that, plus the stream/buffer
+building blocks the kernel runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.configs import CONFIGS, build_prefetchers
+from repro.experiments.jobs import (
+    RunSpec,
+    execute_multiprogram_spec,
+    execute_spec,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore
+from repro.memory.hierarchy import DemandResult
+from repro.prefetch.base import DecisionBuffer
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.kernel import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KERNELS,
+    resolve_kernel,
+    run_fast,
+    run_simulation,
+)
+from repro.sim.stream import access_columns, expand_write_bitset, pack_columns
+from repro.sim.timing import TimingModel
+from repro.traces.format import PackedTrace, pack_trace
+from repro.workloads.registry import generate_workload
+from repro.workloads.trace import Trace
+
+
+def quick_runner(**overrides) -> ExperimentRunner:
+    defaults = dict(
+        max_accesses=500,
+        trace_overrides={"length": 1100},
+        warmup_fraction=0.3,
+        use_cache=False,
+    )
+    defaults.update(overrides)
+    return ExperimentRunner(**defaults)
+
+
+def both_kernels(spec: RunSpec):
+    """(reference, fast) statistics for one spec, computed without a store."""
+
+    return (
+        execute_spec(spec, kernel="reference"),
+        execute_spec(spec, kernel="fast"),
+    )
+
+
+def prefetcher_counters(simulator: Simulator) -> dict:
+    return {p.name: asdict(p.stats) for p in simulator.prefetchers}
+
+
+def build_simulator(configuration: str, system: SystemConfig | None = None) -> Simulator:
+    system = system or SystemConfig.scaled()
+    return Simulator(
+        system.build_hierarchy(),
+        build_prefetchers(configuration, system),
+        timing=TimingModel(system.timing),
+        config=system,
+        configuration_name=configuration,
+    )
+
+
+class TestParityMatrix:
+    """Fast vs reference across every registered configuration."""
+
+    @pytest.mark.parametrize("configuration", CONFIGS.names())
+    def test_every_configuration_bit_identical(self, configuration):
+        runner = quick_runner()
+        params = {"max_entries": 192} if CONFIGS.takes_params(configuration) else None
+        spec = runner.spec_for("xalan", configuration, params)
+        reference, fast = both_kernels(spec)
+        assert asdict(reference) == asdict(fast)
+
+    @pytest.mark.parametrize("max_entries", [None, 96])
+    def test_parameterised_variants(self, max_entries):
+        runner = quick_runner()
+        spec = runner.spec_for("xalan", "triage-srrip", {"max_entries": max_entries})
+        reference, fast = both_kernels(spec)
+        assert asdict(reference) == asdict(fast)
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["graph500_s16", "pointer_chase", "random", "sequential"],
+    )
+    def test_other_workload_shapes(self, workload):
+        """Write-bearing (graph500) and degenerate streams replay identically."""
+
+        runner = ExperimentRunner(max_accesses=500, use_cache=False)
+        spec = runner.spec_for(workload, "triangel")
+        reference, fast = both_kernels(spec)
+        assert asdict(reference) == asdict(fast)
+
+    def test_prefetcher_counters_identical(self):
+        system = SystemConfig.scaled()
+        trace = generate_workload("xalan", length=1500)
+        results = {}
+        counters = {}
+        for kernel in KERNELS:
+            simulator = build_simulator("triangel", system)
+            results[kernel] = run_simulation(
+                simulator, trace, kernel=kernel, warmup_accesses=400
+            )
+            counters[kernel] = prefetcher_counters(simulator)
+        assert asdict(results["reference"].stats) == asdict(results["fast"].stats)
+        assert counters["reference"] == counters["fast"]
+
+    def test_packed_trace_input(self, tmp_path):
+        """The kernel's native input — packed columns — matches objects."""
+
+        packed = pack_trace(generate_workload("mcf", length=1400))
+        assert isinstance(packed, PackedTrace)
+        stats = {}
+        for kernel in KERNELS:
+            simulator = build_simulator("triage")
+            stats[kernel] = run_simulation(
+                simulator, packed, kernel=kernel, warmup_accesses=300
+            ).stats
+        assert asdict(stats["reference"]) == asdict(stats["fast"])
+
+
+class TestParityMultiprogram:
+    @pytest.mark.parametrize("share_metadata", [True, False])
+    def test_multiprogram_pair(self, share_metadata):
+        runner = ExperimentRunner(trace_overrides={"length": 900}, use_cache=False)
+        spec = runner.multiprogram_spec_for(
+            ["xalan", "omnet"],
+            "triangel",
+            max_accesses_per_core=400,
+            share_metadata=share_metadata,
+        )
+        reference = execute_multiprogram_spec(spec, kernel="reference")
+        fast = execute_multiprogram_spec(spec, kernel="fast")
+        assert reference.as_payload() == fast.as_payload()
+
+    def test_multiprogram_parameterised(self):
+        runner = ExperimentRunner(trace_overrides={"length": 800}, use_cache=False)
+        spec = runner.multiprogram_spec_for(
+            ["mcf", "gcc_166"],
+            "triage-lru",
+            max_accesses_per_core=300,
+            config_params={"max_entries": 128},
+        )
+        reference = execute_multiprogram_spec(spec, kernel="reference")
+        fast = execute_multiprogram_spec(spec, kernel="fast")
+        assert reference.as_payload() == fast.as_payload()
+
+
+class TestParityEdges:
+    """The loop-shape edges: warm-up boundaries and access caps."""
+
+    def make_trace(self):
+        return generate_workload("xalan", length=600)
+
+    @pytest.mark.parametrize(
+        ("warmup", "cap"),
+        [(0, None), (0, 0), (200, 100), (600, None), (599, None), (0, 10**9)],
+    )
+    def test_warmup_and_cap_edges(self, warmup, cap):
+        trace = self.make_trace()
+        stats = {}
+        for kernel in KERNELS:
+            simulator = build_simulator("triangel")
+            stats[kernel] = run_simulation(
+                simulator,
+                trace,
+                kernel=kernel,
+                max_accesses=cap,
+                warmup_accesses=warmup,
+                workload_name="xalan",
+            ).stats
+        assert asdict(stats["reference"]) == asdict(stats["fast"])
+        if cap == 0 or warmup >= 600:
+            assert stats["fast"].accesses == 0
+
+    def test_empty_trace(self):
+        for kernel in KERNELS:
+            simulator = build_simulator("baseline")
+            result = run_simulation(simulator, Trace(name="empty"), kernel=kernel)
+            assert result.stats.accesses == 0
+
+    def test_non_default_line_size_geometry(self):
+        """Line alignment must match the reference's global line_address().
+
+        The reference path aligns every access through the 64-byte
+        ``line_address`` helper even when ``HierarchyParams.line_size``
+        differs, so the kernel must too (regression: the kernel once
+        derived its mask from the L1's configured line size).
+        """
+
+        from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+        trace = generate_workload("xalan", length=800)
+        params = HierarchyParams(line_size=128)
+        system = SystemConfig.scaled()
+        stats = {}
+        for kernel in KERNELS:
+            simulator = Simulator(
+                MemoryHierarchy(params),
+                build_prefetchers("triangel", system),
+                timing=TimingModel(system.timing),
+                configuration_name="triangel",
+            )
+            stats[kernel] = run_simulation(
+                simulator, trace, kernel=kernel, warmup_accesses=200
+            ).stats
+        assert asdict(stats["reference"]) == asdict(stats["fast"])
+
+
+class TestWarmStoreAcrossKernels:
+    """Bit-identical results mean the kernels share one store entry."""
+
+    def test_fast_cold_then_reference_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fast_runner = quick_runner(use_cache=True, store=store, kernel="fast")
+        stats_cold = fast_runner.run("xalan", "triangel")
+        executions = store.puts
+        reference_runner = quick_runner(
+            use_cache=True, store=store, kernel="reference"
+        )
+        stats_warm = reference_runner.run("xalan", "triangel")
+        assert store.puts == executions  # replayed, not re-simulated
+        assert asdict(stats_warm) == asdict(stats_cold)
+
+    def test_reference_cold_then_fast_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reference_runner = quick_runner(
+            use_cache=True, store=store, kernel="reference"
+        )
+        cold = reference_runner.run("omnet", "triage")
+        puts = store.puts
+        fast_runner = quick_runner(use_cache=True, store=store, kernel="fast")
+        warm = fast_runner.run("omnet", "triage")
+        assert store.puts == puts
+        assert asdict(cold) == asdict(warm)
+
+    def test_cross_kernel_store_matches_fresh_execution(self, tmp_path):
+        """A store warmed by either kernel serves the other's exact output."""
+
+        runner = quick_runner()
+        spec = runner.spec_for("xalan", "triangel-bloom")
+        reference, fast = both_kernels(spec)
+        assert asdict(reference) == asdict(fast)
+        store = ResultStore(tmp_path)
+        store.put(spec, fast)
+        assert asdict(store.get(spec)) == asdict(reference)
+
+
+class TestKernelSelection:
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel() == DEFAULT_KERNEL == "fast"
+        monkeypatch.setenv(KERNEL_ENV, "reference")
+        assert resolve_kernel() == "reference"
+        assert resolve_kernel("fast") == "fast"  # explicit beats environment
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("turbo")
+        monkeypatch.setenv(KERNEL_ENV, "warp")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel()
+
+    def test_env_override_reaches_execute(self, monkeypatch):
+        runner = quick_runner()
+        spec = runner.spec_for("xalan", "baseline")
+        monkeypatch.setenv(KERNEL_ENV, "reference")
+        via_env = execute_spec(spec)
+        monkeypatch.delenv(KERNEL_ENV)
+        via_default = execute_spec(spec)
+        assert asdict(via_env) == asdict(via_default)
+
+    def test_store_cache_key_covers_kernel_module(self):
+        """The code-version salt must re-key the store when the kernel changes."""
+
+        from pathlib import Path
+
+        import repro
+        from repro.experiments.jobs import _SIMULATION_SOURCES
+
+        package_root = Path(repro.__file__).resolve().parent
+        covered: set[Path] = set()
+        for entry in _SIMULATION_SOURCES:
+            path = package_root / entry
+            covered.update(path.rglob("*.py") if path.is_dir() else [path])
+        assert package_root / "sim" / "kernel.py" in covered
+        assert package_root / "sim" / "stream.py" in covered
+
+
+class TestObservesHitsContract:
+    """observes_hits=False must mean a provable no-op on plain hits."""
+
+    def make_l1_hit(self) -> DemandResult:
+        return DemandResult(
+            level="l1", latency=4.0, line_address=0x1000, l2_miss=False
+        )
+
+    @pytest.mark.parametrize("configuration", ["triage", "triangel"])
+    def test_declared_prefetchers_ignore_plain_hits(self, configuration):
+        system = SystemConfig.scaled()
+        hierarchy = system.build_hierarchy()
+        prefetchers = build_prefetchers(configuration, system)
+        for prefetcher in prefetchers:
+            prefetcher.attach(hierarchy)
+        skippable = [p for p in prefetchers if not p.observes_hits]
+        assert skippable, "temporal prefetchers should declare observes_hits=False"
+        for prefetcher in skippable:
+            before = asdict(prefetcher.stats)
+            assert prefetcher.observe(0x400, 0x1000, self.make_l1_hit(), 0.0) == []
+            assert asdict(prefetcher.stats) == before
+
+    def test_stride_still_observes_hits(self):
+        system = SystemConfig.scaled()
+        (stride,) = build_prefetchers("baseline", system)
+        assert stride.observes_hits
+
+
+class TestDecisionBuffer:
+    def test_emit_and_iterate(self):
+        buffer = DecisionBuffer()
+        buffer.emit(0x100)
+        buffer.emit(0x200, "l1", 25.0, "stride")
+        assert len(buffer) == 2
+        first, second = list(buffer)
+        assert (first.address, first.metadata_source) == (0x100, "markov")
+        assert (second.address, second.target_level, second.extra_latency) == (
+            0x200,
+            "l1",
+            25.0,
+        )
+
+    def test_clear_recycles_slots(self):
+        buffer = DecisionBuffer()
+        buffer.emit(0x100)
+        recycled = buffer.to_list()[0]
+        buffer.clear()
+        assert len(buffer) == 0
+        buffer.emit(0x300)
+        assert buffer.to_list()[0] is recycled
+        assert recycled.address == 0x300
+
+    def test_to_list_reflects_count_only(self):
+        buffer = DecisionBuffer()
+        for address in (0x1, 0x2, 0x3):
+            buffer.emit(address)
+        buffer.clear()
+        buffer.emit(0x9)
+        assert [d.address for d in buffer.to_list()] == [0x9]
+
+
+class TestAccessStreamProtocol:
+    def test_trace_columns_share_storage(self):
+        trace = Trace(name="t")
+        trace.append_access(0x400, 0x1000)
+        trace.append_access(0x404, 0x2040, True)
+        pcs, addresses, writes, length = access_columns(trace)
+        assert length == 2
+        assert list(pcs) == [0x400, 0x404]
+        assert list(addresses) == [0x1000, 0x2040]
+        assert [bool(flag) for flag in writes[:2]] == [False, True]
+        assert trace.access_columns().pcs is pcs  # no copy per call
+
+    def test_packed_trace_columns_native(self):
+        packed = pack_trace(generate_workload("graph500_s16", max_accesses=500))
+        columns = packed.access_columns()
+        assert columns.length == len(packed)
+        assert packed.access_columns().writes is columns.writes  # memoised
+        for index in (0, 7, len(packed) - 1):
+            assert columns.pcs[index] == packed[index].pc
+            assert columns.addresses[index] == packed[index].address
+            assert bool(columns.writes[index]) == packed[index].is_write
+
+    def test_plain_iterable_fallback(self):
+        from repro.memory.request import MemoryAccess
+
+        accesses = [MemoryAccess(0x1, 0x40), MemoryAccess(0x2, 0x80, True)]
+        columns = access_columns(accesses)
+        assert columns.length == 2
+        assert list(columns.addresses) == [0x40, 0x80]
+        assert bool(columns.writes[1])
+
+    def test_expand_write_bitset(self):
+        flags = [True, False, False, True, True, False, False, False, True, True]
+        bits = bytearray(2)
+        for index, flag in enumerate(flags):
+            if flag:
+                bits[index >> 3] |= 1 << (index & 7)
+        expanded = expand_write_bitset(bytes(bits), len(flags))
+        assert [bool(b) for b in expanded] == flags
+        assert expand_write_bitset(b"", 0) == bytearray()
+
+    def test_pack_columns_roundtrip(self):
+        trace = generate_workload("graph500_s16", max_accesses=300)
+        packed = pack_columns(iter(trace))
+        native = access_columns(trace)
+        assert list(packed.pcs) == list(native.pcs)
+        assert list(packed.addresses) == list(native.addresses)
+        assert [bool(b) for b in packed.writes] == [
+            bool(native.writes[i]) for i in range(native.length)
+        ]
+
+    def test_object_facade_stays_in_sync(self):
+        from repro.memory.request import MemoryAccess
+
+        trace = Trace(name="sync")
+        trace.append_access(0x1, 0x40)
+        assert trace.accesses == [MemoryAccess(0x1, 0x40, False)]
+        trace.append(MemoryAccess(0x2, 0x80, True))
+        assert trace[1] == MemoryAccess(0x2, 0x80, True)
+        trace.append_access(0x3, 0xC0)
+        assert [a.pc for a in trace.accesses] == [0x1, 0x2, 0x3]
+        assert len(trace) == 3
+        assert trace.unique_pcs() == 3
+
+    def test_slice_indexing_returns_object_list(self):
+        trace = Trace(name="sliceable")
+        for pc in range(5):
+            trace.append_access(pc, pc * 64)
+        window = trace[1:4]
+        assert [access.pc for access in window] == [1, 2, 3]
+        assert trace[1:4] == trace.accesses[1:4]
+
+    def test_empty_candidates_victim_rejected(self):
+        from repro.memory.replacement import LRUPolicy
+
+        with pytest.raises(ValueError, match="candidate"):
+            LRUPolicy(num_sets=1, assoc=2).victim(0, ())
+
+    def test_direct_accesses_mutation_rejected(self):
+        """The object view is read-only; the columns are the truth."""
+
+        from repro.memory.request import MemoryAccess
+
+        trace = Trace(name="ro")
+        trace.append_access(0x1, 0x40)
+        trace.accesses.append(MemoryAccess(0x2, 0x80))  # bypasses the columns
+        with pytest.raises(RuntimeError, match="append_access"):
+            trace.accesses
+
+
+class TestRunFastDirect:
+    def test_run_fast_equals_reference_run(self):
+        trace = generate_workload("omnet", length=1000)
+        reference = build_simulator("triangel")
+        expected = reference.run(trace, workload_name="omnet", warmup_accesses=250)
+        fast = build_simulator("triangel")
+        actual = run_fast(fast, trace, workload_name="omnet", warmup_accesses=250)
+        assert asdict(expected.stats) == asdict(actual.stats)
+        assert {
+            name: asdict(stats) for name, stats in expected.prefetcher_stats.items()
+        } == {name: asdict(stats) for name, stats in actual.prefetcher_stats.items()}
