@@ -45,11 +45,16 @@ Seven subcommands cover the common workflows without writing any Python:
 ``run``, ``figure`` and ``study run`` accept ``--jobs N`` to execute
 simulation matrices in N worker processes, ``--cache-dir`` to relocate
 the result store (the ``REPRO_CACHE_DIR`` environment variable does the
-same), and ``--kernel reference|fast`` to pick the execution kernel (the
-``REPRO_KERNEL`` environment variable does the same; both kernels produce
-bit-identical statistics, so this never changes any result).  A second
-invocation with the same parameters replays completed simulations from the
-store instead of re-running them.
+same), and ``--kernel reference|fast|fast-sharded`` to pick the execution
+kernel (the ``REPRO_KERNEL`` environment variable does the same; the
+kernels produce bit-identical statistics, so this never changes any
+result).  ``--shards K`` (or ``REPRO_SHARDS``) splits each single-core
+replay into K trace-window shards that run as sibling pool tasks under
+``--jobs``, each re-warming over ``--shard-overlap`` accesses of its
+predecessor's tail before sampling (see :mod:`repro.sim.shard`; sharded
+runs key the store separately from sequential ones).  A second invocation
+with the same parameters replays completed simulations from the store
+instead of re-running them.
 
 Examples::
 
@@ -259,6 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser.add_argument(
         "trace", help="trace workload name (trace:<name> or <name>) or a file path"
     )
+    info_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="also show the shard plan a run with --shards N would use",
+    )
+    info_parser.add_argument(
+        "--shard-overlap",
+        default=None,
+        metavar="N|warmup|full",
+        help="overlap policy for the reported shard plan (default: warmup)",
+    )
+    info_parser.add_argument(
+        "--warmup-fraction",
+        type=float,
+        default=0.4,
+        help="warm-up fraction assumed by the reported shard plan",
+    )
 
     sample_parser = trace_subparsers.add_parser(
         "sample", help="write a sampled sub-trace (window or systematic) to disk"
@@ -303,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON record (default: ./BENCH_engine.json; "
         "'-' skips writing)",
     )
+    bench_parser.add_argument(
+        "--shards",
+        default="2,4",
+        metavar="K[,K...]",
+        help="comma-separated shard counts for the sharded replay cases "
+        "(default: 2,4; empty string skips them)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent result store"
@@ -335,11 +365,28 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--kernel",
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "fast-sharded"),
         default=None,
-        help="execution kernel (default: fast, or $REPRO_KERNEL); both "
+        help="execution kernel (default: fast, or $REPRO_KERNEL); all "
         "produce bit-identical statistics — 'reference' is the readable "
-        "debugging implementation",
+        "debugging implementation, 'fast-sharded' an alias of fast that "
+        "pairs with --shards",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split each single-core replay into N trace-window shards "
+        "(default: 1, or $REPRO_SHARDS); shards of one run execute in "
+        "pool workers alongside other runs under --jobs",
+    )
+    parser.add_argument(
+        "--shard-overlap",
+        default=None,
+        metavar="N|warmup|full",
+        help="warm-up overlap each shard replays before its sampling window "
+        "opens: an access count, 'warmup' (one warm-up length; default), or "
+        "'full' (the entire sequential prefix — bit-identical to unsharded)",
     )
 
 
@@ -359,6 +406,27 @@ def _trace_overrides(args: argparse.Namespace) -> dict:
     return {"length": length}
 
 
+def _resolve_shards(args: argparse.Namespace) -> int:
+    """The shard count for this invocation: flag, then environment, then 1."""
+
+    from repro.sim.shard import SHARDS_ENV
+
+    shards = getattr(args, "shards", None)
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SHARDS_ENV}={raw!r}: shard count must be an integer"
+            ) from None
+    if shards < 1:
+        raise ValueError(f"--shards must be at least 1, got {shards}")
+    return shards
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     overrides = _trace_overrides(args)
     return ExperimentRunner(
@@ -370,6 +438,8 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         jobs=getattr(args, "jobs", 1),
         store=_store_for(args),
         kernel=getattr(args, "kernel", None),
+        shards=_resolve_shards(args),
+        shard_overlap=getattr(args, "shard_overlap", None) or "warmup",
     )
 
 
@@ -507,6 +577,8 @@ def _command_study(args: argparse.Namespace) -> str | None:
             jobs=args.jobs,
             store=store,
             kernel=args.kernel,
+            shards=_resolve_shards(args),
+            shard_overlap=args.shard_overlap or "warmup",
         )
         rendered = study.run(runner).rendered
         if args.all:
@@ -685,6 +757,19 @@ def _command_trace(args: argparse.Namespace) -> str:
         generator = trace.metadata.get("generator")
         if generator:
             lines.append(f"generator:    {generator}")
+        if args.shards is not None:
+            from repro.sim.shard import plan_shards
+
+            if args.shards < 1:
+                raise ValueError(f"--shards must be at least 1, got {args.shards}")
+            plan = plan_shards(
+                total_accesses=len(trace),
+                warmup_accesses=int(len(trace) * args.warmup_fraction),
+                shards=args.shards,
+                overlap=args.shard_overlap,
+            )
+            lines.append("shard plan:")
+            lines.extend(f"  {line}" for line in plan.describe())
         return "\n".join(lines)
 
     # -- sample ------------------------------------------------------------
@@ -740,7 +825,18 @@ def _command_bench(args: argparse.Namespace) -> str:
         write_bench,
     )
 
-    record = run_bench(length=args.length, repeats=args.repeats)
+    raw_shards = [part.strip() for part in args.shards.split(",") if part.strip()]
+    try:
+        shard_counts = tuple(int(part) for part in raw_shards)
+    except ValueError:
+        raise ValueError(
+            f"--shards {args.shards!r}: expected comma-separated integers"
+        ) from None
+    if any(count < 2 for count in shard_counts):
+        raise ValueError("--shards: bench shard counts must be at least 2")
+    record = run_bench(
+        length=args.length, repeats=args.repeats, shard_counts=shard_counts
+    )
     lines = [render_bench(record)]
     if args.output != "-":
         path = write_bench(record, args.output or BENCH_FILENAME)

@@ -25,6 +25,18 @@ Both kernels must agree bit-for-bit on every statistic; a mismatch makes
 the bench fail (and exit non-zero from the CLI) rather than report a
 meaningless rate.  Timing uses best-of-``repeats`` wall time over the whole
 run, warm-up included.
+
+The replay-hot case is additionally measured **sharded** (see
+:mod:`repro.sim.shard`): for each requested shard count K the trace is
+split into K windows with warm-up overlap, every window is replayed on a
+fresh simulator and timed individually, and the *critical path* — the
+slowest single window — is reported as the sharded wall time.  On a machine
+with ≥ K idle cores that equals end-to-end wall time; reporting it keeps
+the bench honest on builders with fewer cores, where the windows timeshare.
+Sharded cases gate on the parity contract (merged statistics vs the
+sequential fast kernel, within :data:`~repro.sim.shard.
+SHARD_PARITY_TOLERANCE`; ``accesses`` exactly equal) and **never** on
+speed — a slow build box must not fail CI, a wrong merge must.
 """
 
 from __future__ import annotations
@@ -40,7 +52,14 @@ from pathlib import Path
 from repro.experiments.configs import build_prefetchers
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
-from repro.sim.kernel import KERNELS, run_simulation
+from repro.sim.kernel import run_fast_window, run_simulation
+from repro.sim.shard import (
+    SHARD_PARITY_TOLERANCE,
+    merge_shard_outcomes,
+    plan_shards,
+    shard_parity_report,
+)
+from repro.sim.stream import access_columns
 from repro.sim.timing import TimingModel
 
 #: Where the CLI writes the benchmark record by default (repository root in
@@ -49,6 +68,12 @@ BENCH_FILENAME = "BENCH_engine.json"
 
 #: Lines in the replay-hot chain: well inside the scaled 4 KiB L1.
 _HOT_CHAIN_LINES = 48
+
+#: The kernels every case is cross-checked and timed under.  Deliberately
+#: not :data:`~repro.sim.kernel.KERNELS`: ``fast-sharded`` is the fast
+#: kernel under a different replay plan, measured by the sharded cases
+#: below, not a third implementation to compare.
+_COMPARED_KERNELS = ("reference", "fast")
 
 
 class BenchParityError(RuntimeError):
@@ -74,6 +99,36 @@ def _simulator(system: SystemConfig, configuration: str) -> Simulator:
         config=system,
         configuration_name=configuration,
     )
+
+
+def _assert_prepared(case: BenchCase) -> None:
+    """Assert a case's stream statistics work stays off the timed path.
+
+    The kernels ask the trace for its columns; a stream that re-packed (or
+    re-expanded its write bitset) per call would bill that preparation to
+    whichever kernel ran first and skew every rate.  Likewise the footprint
+    counters the bench does *not* time must be memoised, not recomputed.
+    """
+
+    columns = access_columns(case.trace)
+    again = access_columns(case.trace)
+    if (
+        again.pcs is not columns.pcs
+        or again.addresses is not columns.addresses
+        or again.writes is not columns.writes
+    ):
+        raise BenchParityError(
+            f"{case.name}: trace re-packs its columns per call — stream "
+            f"preparation would leak into the timed region"
+        )
+    counter = getattr(case.trace, "write_count", None)
+    if counter is not None:
+        counter()
+        if getattr(case.trace, "_write_count", 0) is None:
+            raise BenchParityError(
+                f"{case.name}: write_count is not memoised — footprint "
+                f"statistics would recount on every inspection"
+            )
 
 
 def _measure(
@@ -147,17 +202,55 @@ def _bench_cases(length: int, trace_dir: Path) -> list[BenchCase]:
     ]
 
 
+def _measure_sharded(
+    case: BenchCase,
+    system: SystemConfig,
+    shards: int,
+    repeats: int,
+    warmup_fraction: float,
+) -> tuple[float, dict, object]:
+    """Critical-path wall time, merged statistics and the plan for one K.
+
+    Every window is replayed on a fresh simulator and timed individually
+    (best of ``repeats``); the critical path is the slowest window — what
+    end-to-end wall time becomes once each window has an idle core.
+    """
+
+    warmup = int(len(case.trace) * warmup_fraction)
+    plan = plan_shards(len(case.trace), warmup, shards, overlap="warmup")
+    best: list[float | None] = [None] * plan.shard_count
+    outcomes = []
+    for _ in range(repeats):
+        outcomes = []
+        for window in plan.windows:
+            simulator = _simulator(system, case.configuration)
+            started = time.perf_counter()
+            outcome = run_fast_window(
+                simulator, case.trace, window, workload_name=case.workload
+            )
+            elapsed = time.perf_counter() - started
+            if best[window.index] is None or elapsed < best[window.index]:
+                best[window.index] = elapsed
+            outcomes.append(outcome)
+    merged = merge_shard_outcomes(outcomes)
+    return max(best), asdict(merged), plan
+
+
 def run_bench(
     length: int = 44_000,
     repeats: int = 3,
     scale: float = 1.0,
     warmup_fraction: float = 0.25,
+    shard_counts: tuple = (2, 4),
 ) -> dict:
     """Run every bench case under both kernels; return the JSON-safe record.
 
     Raises :class:`BenchParityError` if any case's statistics differ
     between kernels — speed numbers for diverging simulations would be
     meaningless, and the parity guarantee is the fast kernel's contract.
+    The replay-hot case is additionally replayed sharded at every K in
+    ``shard_counts`` (warm-up overlap), parity-gated against the sequential
+    fast kernel's statistics.
     """
 
     if length <= 0:
@@ -170,14 +263,16 @@ def run_bench(
         "python": f"{platform.python_implementation()} {platform.python_version()}",
         "length": length,
         "repeats": repeats,
-        "kernels": list(KERNELS),
+        "kernels": list(_COMPARED_KERNELS),
         "cases": [],
     }
+    sharded_source: tuple[BenchCase, float, dict] | None = None
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         for case in _bench_cases(length, Path(tmp)):
+            _assert_prepared(case)
             timings: dict[str, float] = {}
             statistics: dict[str, dict] = {}
-            for kernel in KERNELS:
+            for kernel in _COMPARED_KERNELS:
                 timings[kernel], statistics[kernel] = _measure(
                     case, system, kernel, repeats, warmup_fraction
                 )
@@ -207,6 +302,55 @@ def run_bench(
                     "parity": True,
                 }
             )
+            if case.name == "replay-hot":
+                sharded_source = (case, timings["fast"], statistics["fast"])
+
+        # Sharded replay scales the hot case: the gate is parity (wrong
+        # merged statistics fail the bench), never speed (a loaded builder
+        # must not).
+        for shards in shard_counts:
+            if sharded_source is None:
+                break
+            case, fast_time, fast_stats = sharded_source
+            critical, merged, plan = _measure_sharded(
+                case, system, shards, repeats, warmup_fraction
+            )
+            report = shard_parity_report(fast_stats, merged)
+            if report["accesses"] != 0:
+                raise BenchParityError(
+                    f"{case.name} (K={shards}): merged access count differs "
+                    f"from sequential replay by {report['accesses']:.0f}"
+                )
+            deviation, counter = max(
+                (value, key) for key, value in report.items() if key != "accesses"
+            )
+            if deviation > SHARD_PARITY_TOLERANCE:
+                raise BenchParityError(
+                    f"{case.name} (K={shards}): {counter} deviates "
+                    f"{deviation:.4f} from sequential replay (tolerance "
+                    f"{SHARD_PARITY_TOLERANCE})"
+                )
+            accesses = len(case.trace)
+            record["cases"].append(
+                {
+                    "name": f"replay-hot-sharded-k{shards}",
+                    "workload": case.workload,
+                    "configuration": case.configuration,
+                    "description": (
+                        f"replay-hot split into {plan.shard_count} windows "
+                        f"(warm-up overlap); critical-path time = slowest "
+                        f"window = end-to-end wall on ≥{plan.shard_count} "
+                        f"idle cores"
+                    ),
+                    "accesses": accesses,
+                    "shards": plan.shard_count,
+                    "shard_overlap": "warmup",
+                    "critical_path_accesses_per_second": round(accesses / critical),
+                    "speedup": round(fast_time / critical, 2),
+                    "parity": True,
+                    "max_parity_deviation": round(deviation, 6),
+                }
+            )
     record["packed_trace_speedup"] = next(
         case["speedup"] for case in record["cases"] if case["name"] == "replay-hot"
     )
@@ -216,13 +360,15 @@ def run_bench(
 def render_bench(record: dict) -> str:
     """The bench record as the aligned text table the CLI prints."""
 
+    kernel_cases = [case for case in record["cases"] if "shards" not in case]
+    sharded_cases = [case for case in record["cases"] if "shards" in case]
     lines = [
         f"engine kernel benchmark ({record['python']}, "
         f"best of {record['repeats']}, parity-checked)",
         f"{'case':<18} {'config':<10} {'accesses':>9} "
         f"{'reference/s':>12} {'fast/s':>12} {'speedup':>8}",
     ]
-    for case in record["cases"]:
+    for case in kernel_cases:
         lines.append(
             f"{case['name']:<18} {case['configuration']:<10} "
             f"{case['accesses']:>9} "
@@ -230,6 +376,23 @@ def render_bench(record: dict) -> str:
             f"{case['fast_accesses_per_second']:>12,} "
             f"{case['speedup']:>7.2f}x"
         )
+    if sharded_cases:
+        lines.append(
+            "sharded replay (critical path = slowest window; "
+            "speedup vs sequential fast)"
+        )
+        lines.append(
+            f"{'case':<22} {'shards':>6} {'accesses':>9} "
+            f"{'critical/s':>12} {'speedup':>8} {'max dev':>9}"
+        )
+        for case in sharded_cases:
+            lines.append(
+                f"{case['name']:<22} {case['shards']:>6} "
+                f"{case['accesses']:>9} "
+                f"{case['critical_path_accesses_per_second']:>12,} "
+                f"{case['speedup']:>7.2f}x "
+                f"{case['max_parity_deviation']:>9.6f}"
+            )
     return "\n".join(lines)
 
 

@@ -13,7 +13,9 @@ batch, freely mixed, at once.  The executor
 3. runs the misses — in-process when ``jobs == 1``, otherwise on a
    ``ProcessPoolExecutor`` whose workers rebuild everything from the pickled
    spec (see :func:`~repro.experiments.jobs.execute`, which dispatches on
-   the spec kind), and
+   the spec kind); a sharded :class:`RunSpec` (``shards > 1``) fans out as
+   one pool task per trace window, scheduled alongside every other miss,
+   and its outcomes are merged in shard order as they arrive, and
 4. writes fresh results back to the store so later batches, processes and
    benchmark sessions skip them.
 
@@ -28,7 +30,12 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Sequence
 
-from repro.experiments.jobs import execute
+from repro.experiments.jobs import (
+    RunSpec,
+    execute,
+    execute_spec_shard,
+    shard_plan_for_spec,
+)
 from repro.experiments.store import Result, ResultStore, Spec
 
 
@@ -79,13 +86,58 @@ class BatchExecutor:
                 self.store.put(spec, result)
 
         run_one = partial(execute, kernel=self.kernel)
-        if self.jobs > 1 and len(misses) > 1:
-            workers = min(self.jobs, len(misses))
+
+        # A sharded RunSpec is one store entry but many units of pool work:
+        # when a pool is in play, its plan's windows become sibling tasks so
+        # the shards of one spec run alongside other specs' cells instead of
+        # serialising behind them.  Serial execution leaves the spec whole —
+        # execute_spec replays the same windows in-process and merges them
+        # the same way, so both paths return byte-identical results.
+        tasks: list[tuple[Spec, int | None]] = []
+        shard_totals: dict[Spec, int] = {}
+        for spec in misses:
+            expanded = False
+            if self.jobs > 1 and isinstance(spec, RunSpec) and spec.shards > 1:
+                plan = shard_plan_for_spec(spec)
+                if plan.shard_count > 1:
+                    shard_totals[spec] = plan.shard_count
+                    tasks.extend((spec, index) for index in range(plan.shard_count))
+                    expanded = True
+            if not expanded:
+                tasks.append((spec, None))
+
+        if self.jobs > 1 and len(tasks) > 1:
+            from repro.sim.shard import merge_shard_outcomes
+
+            partial_outcomes: dict[Spec, dict[int, object]] = {}
+            workers = min(self.jobs, len(tasks))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(run_one, spec): spec for spec in misses}
+                futures = {}
+                for spec, index in tasks:
+                    if index is None:
+                        futures[pool.submit(run_one, spec)] = (spec, None)
+                    else:
+                        futures[
+                            pool.submit(execute_spec_shard, spec, index, self.kernel)
+                        ] = (spec, index)
                 for future in as_completed(futures):
-                    complete(futures[future], future.result())
+                    spec, index = futures[future]
+                    if index is None:
+                        complete(spec, future.result())
+                        continue
+                    shards = partial_outcomes.setdefault(spec, {})
+                    shards[index] = future.result()
+                    if len(shards) == shard_totals[spec]:
+                        # Merge strictly in shard order: the merge is
+                        # order-sensitive (endpoint clocks come from the
+                        # first and last windows), and arrival order is not.
+                        complete(
+                            spec,
+                            merge_shard_outcomes(
+                                [shards[i] for i in range(len(shards))]
+                            ),
+                        )
         else:
-            for spec in misses:
+            for spec, _ in tasks:
                 complete(spec, run_one(spec))
         return results

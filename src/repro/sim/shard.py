@@ -1,0 +1,396 @@
+"""Trace-window sharding: split one replay into windows, merge the stats.
+
+One simulation normally replays its whole trace on one core.  Sharding cuts
+the *sampled* region of the trace into K contiguous windows that pool
+workers can replay concurrently — the intra-run analogue of the batch
+executor's across-spec parallelism — and merges the per-window statistics
+back into one :class:`~repro.sim.stats.SimulationStats` deterministically.
+
+The three pieces live here:
+
+* :func:`plan_shards` builds a :class:`ShardPlan`: the warm-up boundary, the
+  sampled region (warm-up fraction and access cap applied exactly as the
+  sequential kernel applies them), and K near-equal contiguous
+  :class:`ShardWindow` entries.  Each window i > 0 additionally replays a
+  configurable *overlap prefix* of its predecessor's tail — unsampled — to
+  warm caches and prefetcher state before its own sampling window opens.
+* :class:`ShardOutcome` is what one window's replay returns (see
+  :func:`repro.sim.kernel.run_fast_window`): the window-local statistics
+  plus the raw clock/stall-accumulator endpoints the merge needs.
+* :func:`merge_shard_outcomes` combines outcomes in shard order.  Integer
+  counters are window partitions and sum exactly.  The float accumulators
+  (cycles, late-prefetch stall) are *not* summed when every shard replayed
+  from access 0 (``overlap="full"``, or a numeric overlap that covered the
+  whole prefix): each such shard's clock is then bit-identical to the
+  sequential kernel's clock at the same access index, so subtracting the
+  first shard's sampling-start endpoint from the last shard's final
+  endpoint reproduces the sequential result *bit for bit* — float addition
+  is not associative, endpoint subtraction sidesteps it entirely.
+
+Overlap spellings (``shard_overlap`` on specs, ``--shard-overlap`` on the
+CLI): a non-negative access count, ``"warmup"`` (the run's warm-up length —
+the default), or ``"full"`` (every shard replays its entire prefix;
+bit-identical results at the cost of more replayed accesses per shard).
+
+The parity contract, concretely:
+
+* ``overlap="full"`` — merged statistics are byte-identical to the
+  sequential fast kernel's (every field, floats included);
+* any finite overlap — ``accesses`` is always exact (the windows partition
+  the sampled region); the remaining counters carry a measured tolerance,
+  :data:`SHARD_PARITY_TOLERANCE`, asserted by the tests and the bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.sim.stats import SimulationStats, combine_stats
+
+#: Environment variable supplying a default shard count to the CLI
+#: (explicit ``--shards`` wins; unset means sequential).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Overlap spelling: replay the run's warm-up length before each window.
+OVERLAP_WARMUP = "warmup"
+
+#: Overlap spelling: replay the entire prefix (bit-identical results).
+OVERLAP_FULL = "full"
+
+#: What specs and the CLI use when no overlap is given.
+DEFAULT_OVERLAP = OVERLAP_WARMUP
+
+#: Maximum relative deviation, per headline counter, that a finite-overlap
+#: sharded run may show against the sequential fast kernel *on the
+#: workloads it is gated on* — quick-training streams like the bench's
+#: pointer-chase replay, where the measured deviation is 0.0 at
+#: K ∈ {2, 4} (see ``tests/test_shard.py`` and ``repro bench --shards``).
+#: Slow-training temporal workloads can exceed this under finite overlap
+#: (each shard retrains long-range metadata from scratch); for those, use
+#: ``overlap="full"``, which is bit-identical and gated across the whole
+#: configuration matrix.  The ``accesses`` counter is never allowed to
+#: deviate at all.  Documented in ``docs/architecture.md``.
+SHARD_PARITY_TOLERANCE = 0.05
+
+#: The counters the parity report compares (``accesses`` is checked for
+#: exact equality separately).
+_PARITY_FIELDS = (
+    "cycles",
+    "l2_demand_misses",
+    "dram_accesses",
+    "l3_data_accesses",
+    "markov_accesses",
+    "dynamic_energy",
+    "temporal_prefetches_issued",
+    "stride_prefetches_issued",
+)
+
+
+def normalize_overlap(value) -> int | str:
+    """Canonicalise an overlap spelling (count, ``"warmup"``, ``"full"``).
+
+    Accepts the CLI's string forms (``"3"``, ``"warmup"``, ``"full"``) and
+    the programmatic int/keyword forms; rejects everything else loudly so a
+    typo can never silently run with a different warm-up than intended.
+    """
+
+    if value is None:
+        return DEFAULT_OVERLAP
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in (OVERLAP_WARMUP, OVERLAP_FULL):
+            return text
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"invalid shard overlap {value!r}: expected a non-negative "
+                f"access count, {OVERLAP_WARMUP!r} or {OVERLAP_FULL!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"invalid shard overlap {value!r}: expected a non-negative "
+            f"access count, {OVERLAP_WARMUP!r} or {OVERLAP_FULL!r}"
+        )
+    if value < 0:
+        raise ValueError(f"shard overlap must be non-negative, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ShardWindow:
+    """One shard's replay range and the phase boundaries inside it.
+
+    The shard replays ``[prefix_start, window_stop)``.  Accesses before
+    ``sample_begin`` warm state under the warm-up statistics object; at
+    ``sample_begin`` the kernel performs the sequential kernel's sampling
+    flush (counter reset, clock snapshot); accesses in
+    ``[sample_begin, window_start)`` are the overlap gap — simulated under
+    sampling conditions but discarded; ``[window_start, window_stop)`` is
+    the window this shard owns, and the only part whose statistics survive
+    the merge.  A shard with ``prefix_start == 0`` replays the sequential
+    kernel's exact prefix, so ``sample_begin`` sits at the run's true
+    warm-up boundary and every counter it produces is bit-identical to the
+    sequential kernel's at the same index.
+    """
+
+    index: int
+    prefix_start: int
+    sample_begin: int
+    window_start: int
+    window_stop: int
+
+    @property
+    def window_accesses(self) -> int:
+        """Accesses in the owned (merged) window."""
+
+        return self.window_stop - self.window_start
+
+    @property
+    def replay_accesses(self) -> int:
+        """Accesses this shard replays in total (prefix + gap + window)."""
+
+        return self.window_stop - self.prefix_start
+
+    @property
+    def exact(self) -> bool:
+        """Whether this shard replays the sequential kernel's exact prefix."""
+
+        return self.prefix_start == 0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one trace replay splits into contiguous sampled windows."""
+
+    total_accesses: int
+    warmup_accesses: int
+    requested_shards: int
+    overlap: int | str
+    windows: tuple
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.windows)
+
+    @property
+    def sampled_accesses(self) -> int:
+        """Accesses in the sampled region the windows partition."""
+
+        if not self.windows:
+            return 0
+        return self.windows[-1].window_stop - self.windows[0].window_start
+
+    @property
+    def replayed_accesses(self) -> int:
+        """Total accesses replayed across all shards (the overlap cost)."""
+
+        return sum(window.replay_accesses for window in self.windows)
+
+    @property
+    def exact(self) -> bool:
+        """Whether merged results are bit-identical to sequential replay."""
+
+        return all(window.exact for window in self.windows)
+
+    def describe(self) -> list[str]:
+        """Human-readable plan summary (``repro trace info --shards``)."""
+
+        lines = [
+            f"{self.shard_count} shard(s) over {self.sampled_accesses} "
+            f"sampled accesses (warm-up {self.warmup_accesses}, "
+            f"overlap {self.overlap}"
+            + (", bit-identical" if self.exact else "")
+            + ")"
+        ]
+        for window in self.windows:
+            warm = window.window_start - window.prefix_start
+            lines.append(
+                f"shard {window.index}: replay "
+                f"[{window.prefix_start}:{window.window_stop}) "
+                f"sample [{window.window_start}:{window.window_stop}) "
+                f"({window.window_accesses} accesses, {warm} warm-up)"
+            )
+        return lines
+
+
+def plan_shards(
+    total_accesses: int,
+    warmup_accesses: int,
+    shards: int,
+    overlap: int | str = DEFAULT_OVERLAP,
+    max_accesses: int | None = None,
+) -> ShardPlan:
+    """Split one replay into K contiguous sampled windows.
+
+    The sampled region is exactly what the sequential kernel samples: it
+    opens at ``warmup_accesses`` and closes at the trace end or after
+    ``max_accesses`` sampled accesses, whichever comes first.  It is split
+    into ``shards`` near-equal contiguous windows (earlier windows take the
+    remainder).  When the region is too small to give every shard at least
+    one access — K greater than the sampled count included — the plan
+    degenerates to a single shard, which callers run on the plain
+    sequential path.
+    """
+
+    if shards < 1:
+        raise ValueError(f"shard count must be at least 1, got {shards}")
+    if total_accesses < 0:
+        raise ValueError("total_accesses must be non-negative")
+    overlap = normalize_overlap(overlap)
+    warmup = min(max(warmup_accesses, 0), total_accesses)
+    sampled = total_accesses - warmup
+    if max_accesses is not None:
+        sampled = min(sampled, max(max_accesses, 0))
+    stop = warmup + sampled
+
+    effective = shards if shards <= max(sampled, 1) else 1
+    if effective == 1:
+        windows = (
+            ShardWindow(
+                index=0,
+                prefix_start=0,
+                sample_begin=warmup,
+                window_start=warmup,
+                window_stop=stop,
+            ),
+        )
+        return ShardPlan(
+            total_accesses=total_accesses,
+            warmup_accesses=warmup,
+            requested_shards=shards,
+            overlap=overlap,
+            windows=windows,
+        )
+
+    base, remainder = divmod(sampled, effective)
+    windows = []
+    start = warmup
+    for index in range(effective):
+        size = base + (1 if index < remainder else 0)
+        end = start + size
+        if index == 0 or overlap == OVERLAP_FULL:
+            prefix_start = 0
+        elif overlap == OVERLAP_WARMUP:
+            prefix_start = max(0, start - warmup)
+        else:
+            prefix_start = max(0, start - overlap)
+        # A shard replaying from access 0 re-walks the sequential prefix,
+        # so its sampling flush must land exactly where the sequential
+        # kernel's does — at the true warm-up boundary — for its clock and
+        # counters to be bit-identical.  A shard with a partial prefix has
+        # no sequential-identical state to preserve; it opens sampling at
+        # its own window so the gap stays minimal.
+        sample_begin = warmup if prefix_start == 0 else start
+        windows.append(
+            ShardWindow(
+                index=index,
+                prefix_start=prefix_start,
+                sample_begin=sample_begin,
+                window_start=start,
+                window_stop=end,
+            )
+        )
+        start = end
+    return ShardPlan(
+        total_accesses=total_accesses,
+        warmup_accesses=warmup,
+        requested_shards=shards,
+        overlap=overlap,
+        windows=tuple(windows),
+    )
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What replaying one :class:`ShardWindow` produces (picklable).
+
+    ``stats`` holds the window-local statistics.  The four float endpoints
+    are *raw accumulator values*, not deltas: ``clock_sample_start`` is the
+    clock at the sampling flush, ``clock_end`` the clock after the window's
+    last access, and the two ``stall`` fields bracket the late-prefetch
+    stall accumulator the same way.  :func:`merge_shard_outcomes` uses them
+    to reconstruct the sequential kernel's exact subtraction when every
+    shard is ``exact``.
+    """
+
+    index: int
+    stats: SimulationStats
+    prefetcher_counters: dict
+    clock_sample_start: float
+    clock_window_start: float
+    clock_end: float
+    stall_window_start: float
+    stall_end: float
+    exact: bool
+
+
+def _ordered(outcomes: Sequence[ShardOutcome]) -> list[ShardOutcome]:
+    if not outcomes:
+        raise ValueError("cannot merge zero shard outcomes")
+    ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+    indices = [outcome.index for outcome in ordered]
+    if indices != list(range(len(ordered))):
+        raise ValueError(
+            f"shard outcomes must cover indices 0..{len(ordered) - 1} "
+            f"exactly once, got {indices}"
+        )
+    return ordered
+
+
+def merge_shard_outcomes(outcomes: Sequence[ShardOutcome]) -> SimulationStats:
+    """Combine per-shard statistics into one run's statistics, in order.
+
+    Integer counters sum (the windows partition the sampled region);
+    ``markov_final_ways`` is the last shard's final state.  When every
+    shard replayed the full prefix, the float accumulators are rebuilt from
+    the endpoint values instead of summed — see the module docstring for
+    why that makes the merge bit-identical to sequential replay.
+    """
+
+    ordered = _ordered(outcomes)
+    merged = combine_stats([outcome.stats for outcome in ordered])
+    if all(outcome.exact for outcome in ordered):
+        first, last = ordered[0], ordered[-1]
+        merged.cycles = last.clock_end - first.clock_sample_start
+        merged.late_prefetch_stall_cycles = (
+            last.stall_end - first.stall_window_start
+        )
+    return merged
+
+
+def merge_prefetcher_counters(
+    outcomes: Sequence[ShardOutcome],
+) -> dict[str, dict[str, int]]:
+    """Sum each prefetcher's window-local counters across shards."""
+
+    ordered = _ordered(outcomes)
+    merged: dict[str, dict[str, int]] = {}
+    for outcome in ordered:
+        for name, counters in outcome.prefetcher_counters.items():
+            into = merged.setdefault(name, dict.fromkeys(counters, 0))
+            for field, value in counters.items():
+                into[field] += value
+    return merged
+
+
+def shard_parity_report(
+    sequential: Mapping, merged: Mapping
+) -> dict[str, float]:
+    """Relative deviation of merged-vs-sequential statistics, per counter.
+
+    Both arguments are ``dataclasses.asdict`` forms of
+    :class:`SimulationStats`.  ``accesses`` reports the absolute
+    difference (the contract requires exactly zero); every other headline
+    counter reports ``|merged - sequential| / max(|sequential|, 1)``.  The
+    bench and the shard tests assert the maximum against
+    :data:`SHARD_PARITY_TOLERANCE`.
+    """
+
+    report = {"accesses": float(abs(merged["accesses"] - sequential["accesses"]))}
+    for field in _PARITY_FIELDS:
+        expected = sequential[field]
+        actual = merged[field]
+        report[field] = abs(actual - expected) / max(abs(expected), 1.0)
+    return report

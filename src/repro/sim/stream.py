@@ -89,6 +89,35 @@ def pack_columns(accesses) -> AccessColumns:
     return AccessColumns(pcs=pcs, addresses=addresses, writes=writes, length=len(pcs))
 
 
+def slice_columns(columns: AccessColumns, start: int, stop: int) -> AccessColumns:
+    """A zero-copy view of one contiguous window of a column set.
+
+    Buffer-backed columns — ``array('Q')``, ``bytearray``, ``bytes``,
+    ``memoryview`` (the mmap-backed trace path) — are sliced through
+    :class:`memoryview`, which shares the underlying storage; slicing the
+    containers directly would copy the window, and sharded replay slices
+    the same multi-gigabyte columns once per shard.  Plain sequences (the
+    test fallback) fall back to an ordinary copying slice.
+    """
+
+    start, stop, _ = slice(start, stop).indices(columns.length)
+    stop = max(start, stop)
+
+    def view(column):
+        try:
+            window = memoryview(column)
+        except TypeError:
+            return column[start:stop]
+        return window[start:stop]
+
+    return AccessColumns(
+        pcs=view(columns.pcs),
+        addresses=view(columns.addresses),
+        writes=view(columns.writes),
+        length=stop - start,
+    )
+
+
 def access_columns(trace) -> AccessColumns:
     """The columns of any trace-like object (the kernels' single entry).
 

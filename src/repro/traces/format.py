@@ -54,7 +54,7 @@ from typing import Iterable, Iterator
 
 from repro.memory.request import MemoryAccess
 from repro.sim.stream import AccessColumns, expand_write_bitset
-from repro.workloads.trace import LINE_SHIFT, Trace
+from repro.workloads.trace import LINE_SHIFT, Trace, distinct_line_count
 
 #: Magic bytes opening every ``.rtrc`` file.
 MAGIC = b"RTRC"
@@ -113,6 +113,8 @@ class PackedTrace:
         "_addresses",
         "_writes",
         "_write_flags",
+        "_write_count",
+        "_buffer",
     )
 
     def __init__(
@@ -135,6 +137,11 @@ class PackedTrace:
         self._addresses = addresses
         self._writes = bytes(writes)
         self._write_flags: bytearray | None = None
+        self._write_count: int | None = None
+        # The mmap (or other buffer) the columns are views into, when the
+        # trace was opened zero-copy; holding it here pins the mapping for
+        # the life of the trace.  ``None`` for materialised columns.
+        self._buffer = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -214,24 +221,29 @@ class PackedTrace:
     def write_count(self) -> int:
         """Number of stores in the trace (bitset popcount, not a scan).
 
-        Bits beyond the record count in the final byte are masked out, so a
-        foreign file with stray tail bits can never inflate the count.
+        The whole bitset pops as one big-int ``bit_count`` — no per-byte
+        Python loop — and the result is memoised (the trace is immutable),
+        so repeated inspection never recounts.  Bits beyond the record
+        count in the final byte are masked out, so a foreign file with
+        stray tail bits can never inflate the count.
         """
 
-        count = len(self)
-        used = (count + 7) // 8
-        total = sum(byte.bit_count() for byte in self._writes[:used])
-        tail_bits = count & 7
-        if tail_bits and used:
-            stray = self._writes[used - 1] >> tail_bits
-            total -= stray.bit_count()
-        return total
+        cached = self._write_count
+        if cached is None:
+            count = len(self)
+            used = (count + 7) // 8
+            total = int.from_bytes(self._writes[:used], "little").bit_count()
+            tail_bits = count & 7
+            if tail_bits and used:
+                stray = self._writes[used - 1] >> tail_bits
+                total -= stray.bit_count()
+            self._write_count = cached = total
+        return cached
 
     def unique_lines(self) -> int:
         """Number of distinct cache lines touched (the trace's footprint)."""
 
-        shift = self.line_shift
-        return len({address >> shift for address in self._addresses})
+        return distinct_line_count(self._addresses, self.line_shift)
 
     def unique_pcs(self) -> int:
         """Number of distinct PCs appearing in the trace."""
@@ -273,11 +285,13 @@ class TraceHeader:
     metadata: dict
 
 
-def _column_bytes(column: array) -> bytes:
+def _column_bytes(column) -> bytes:
     """The column's records as little-endian bytes regardless of host order."""
 
     if sys.byteorder == "big":  # pragma: no cover - exercised on BE hosts only
-        column = array(column.typecode, column)
+        # Zero-copy (memoryview) columns only exist on little-endian hosts,
+        # so rebuilding through array('Q') here always sees plain values.
+        column = array("Q", column)
         column.byteswap()
     return column.tobytes()
 
@@ -428,7 +442,9 @@ def _decode_header(
     if len(data) < offset:
         raise TraceFormatError(f"{path}: truncated JSON header")
     try:
-        described = json.loads(data[_FIXED_HEADER.size : offset])
+        # bytes() also unwraps the memoryview the mmap path passes in
+        # (json.loads takes str/bytes/bytearray only).
+        described = json.loads(bytes(data[_FIXED_HEADER.size : offset]))
     except json.JSONDecodeError as error:
         raise TraceFormatError(f"{path}: corrupt JSON header ({error})") from None
     header = TraceHeader(
@@ -457,6 +473,29 @@ def load_trace(path: str | Path) -> PackedTrace:
     return open_trace(path)[0]
 
 
+def _mapped_container(path: Path):
+    """Map an uncompressed file read-only; ``None`` when mapping can't help.
+
+    Gzip files must be decompressed into memory anyway, empty/over-truncated
+    files can't be mapped (or aren't worth it), and byteswapping on a
+    big-endian host would force a copy regardless — all of those return
+    ``None`` and the caller takes the plain read path.
+    """
+
+    if sys.byteorder != "little":  # pragma: no cover - BE hosts copy+swap
+        return None
+    import mmap
+
+    with open(path, "rb") as handle:
+        if handle.read(2) == _GZIP_MAGIC:
+            return None
+        try:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty file, exotic filesystem
+            return None
+    return memoryview(mapping)
+
+
 def open_trace(path: str | Path) -> tuple[PackedTrace, TraceHeader]:
     """Load a file *and* its decoded header in a single read/decompress.
 
@@ -464,10 +503,20 @@ def open_trace(path: str | Path) -> tuple[PackedTrace, TraceHeader]:
     (version, compressed flag); calling :func:`load_trace` plus
     :func:`read_header` would read — and for ``.gz`` files decompress — the
     container twice.
+
+    Uncompressed files on little-endian hosts are **memory-mapped**: the
+    pc/address columns become ``uint64`` views straight into the page
+    cache — no copy, lazily paged — and only the (tiny) write bitset is
+    materialised.  The returned trace pins the mapping for its lifetime.
+    Gzip files decompress into fresh columns exactly as before.
     """
 
     path = Path(path)
-    data, compressed = _read_container(path)
+    view = _mapped_container(path)
+    if view is not None:
+        data, compressed = view, False
+    else:
+        data, compressed = _read_container(path)
     header, offset = _decode_header(data, path, compressed)
     if header.line_shift != LINE_SHIFT:
         # The simulator's hierarchy has one fixed line geometry; replaying
@@ -487,9 +536,16 @@ def open_trace(path: str | Path) -> tuple[PackedTrace, TraceHeader]:
         raise TraceFormatError(
             f"{path}: payload truncated ({len(data)} bytes, expected {expected})"
         )
-    pcs = _column_from_bytes(data[offset : offset + column_size])
-    addresses = _column_from_bytes(data[offset + column_size : offset + 2 * column_size])
-    writes = data[offset + 2 * column_size : expected]
+    if view is not None:
+        pcs = view[offset : offset + column_size].cast("Q")
+        addresses = view[offset + column_size : offset + 2 * column_size].cast("Q")
+        writes = bytes(view[offset + 2 * column_size : expected])
+    else:
+        pcs = _column_from_bytes(data[offset : offset + column_size])
+        addresses = _column_from_bytes(
+            data[offset + column_size : offset + 2 * column_size]
+        )
+        writes = data[offset + 2 * column_size : expected]
     trace = PackedTrace(
         name=header.name,
         pcs=pcs,
@@ -498,6 +554,8 @@ def open_trace(path: str | Path) -> tuple[PackedTrace, TraceHeader]:
         metadata=header.metadata,
         line_shift=header.line_shift,
     )
+    if view is not None:
+        trace._buffer = view
     return trace, header
 
 

@@ -13,6 +13,7 @@ tooling and the reference engine.
 
 from __future__ import annotations
 
+import sys
 from array import array
 from typing import Iterator
 
@@ -26,6 +27,35 @@ from repro.sim.stream import AccessColumns
 #: this one constant, so they can never disagree with the hierarchy's
 #: 64-byte line geometry.
 LINE_SHIFT = CACHE_LINE_BITS
+
+
+def distinct_line_count(addresses, shift: int = LINE_SHIFT) -> int:
+    """Number of distinct cache lines an address column touches.
+
+    Two addresses share a line exactly when they agree above ``shift``
+    bits, so for the common geometries (``0 < shift < 8``) the line number
+    is the address with its low ``shift`` bits cleared — computed here by
+    masking those bits *in the raw column bytes* (one ``translate`` over
+    the little-endian low byte of every record) and deduplicating the
+    8-byte records through a ``memoryview`` cast, instead of shifting one
+    Python int per access.  Columns that don't expose a uint64-shaped
+    buffer (and exotic shifts, and big-endian hosts) fall back to the
+    per-element set.
+    """
+
+    if 0 < shift < 8 and sys.byteorder == "little":
+        try:
+            raw = memoryview(addresses).cast("B")
+        except TypeError:
+            raw = None
+        if raw is not None and len(raw) % 8 == 0:
+            mask = ~((1 << shift) - 1) & 0xFF
+            masked = bytearray(raw)
+            masked[0::8] = masked[0::8].translate(
+                bytes(byte & mask for byte in range(256))
+            )
+            return len(set(memoryview(masked).cast("Q")))
+    return len({address >> shift for address in addresses})
 
 
 class Trace:
@@ -139,7 +169,7 @@ class Trace:
     def unique_lines(self) -> int:
         """Number of distinct cache lines touched (the trace's footprint)."""
 
-        return len({address >> LINE_SHIFT for address in self._addresses})
+        return distinct_line_count(self._addresses, LINE_SHIFT)
 
     def unique_pcs(self) -> int:
         """Number of distinct PCs appearing in the trace."""

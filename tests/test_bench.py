@@ -26,8 +26,13 @@ class TestRunBench:
         assert record["bench"] == "engine-kernels"
         assert record["kernels"] == ["reference", "fast"]
         names = [case["name"] for case in record["cases"]]
-        assert names == ["synthetic-xalan", "replay-hot"]
-        for case in record["cases"]:
+        assert names == [
+            "synthetic-xalan",
+            "replay-hot",
+            "replay-hot-sharded-k2",
+            "replay-hot-sharded-k4",
+        ]
+        for case in record["cases"][:2]:
             assert case["parity"] is True
             assert case["accesses"] > 0
             assert case["reference_accesses_per_second"] > 0
@@ -38,6 +43,26 @@ class TestRunBench:
                 rel=0.01,
             )
         assert record["packed_trace_speedup"] == record["cases"][1]["speedup"]
+
+    def test_sharded_cases_shape(self):
+        record = small_record()
+        sharded = [case for case in record["cases"] if "shards" in case]
+        assert [case["shards"] for case in sharded] == [2, 4]
+        hot = next(case for case in record["cases"] if case["name"] == "replay-hot")
+        for case in sharded:
+            assert case["parity"] is True
+            assert case["shard_overlap"] == "warmup"
+            assert case["accesses"] == hot["accesses"]
+            assert case["critical_path_accesses_per_second"] > 0
+            assert case["speedup"] > 0
+            assert 0.0 <= case["max_parity_deviation"] <= 0.05
+
+    def test_shard_counts_can_be_skipped(self):
+        record = run_bench(length=600, repeats=1, shard_counts=())
+        assert [case["name"] for case in record["cases"]] == [
+            "synthetic-xalan",
+            "replay-hot",
+        ]
 
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):
@@ -87,10 +112,35 @@ class TestBenchCli:
         )
         assert code == 0
         record = json.loads(output.read_text())
-        assert [case["parity"] for case in record["cases"]] == [True, True]
+        assert [case["parity"] for case in record["cases"]] == [True] * 4
         printed = capsys.readouterr().out
         assert "replay-hot" in printed
         assert str(output) in printed
+
+    def test_bench_shards_flag(self, tmp_path):
+        output = tmp_path / "BENCH_engine.json"
+        code = main(
+            [
+                "bench",
+                "--length",
+                "500",
+                "--repeats",
+                "1",
+                "--shards",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        record = json.loads(output.read_text())
+        sharded = [case for case in record["cases"] if "shards" in case]
+        assert [case["shards"] for case in sharded] == [3]
+
+    def test_bench_rejects_bad_shards(self, capsys):
+        assert main(["bench", "--shards", "1,x", "--output", "-"]) == 2
+        assert "repro:" in capsys.readouterr().err
+        assert main(["bench", "--shards", "1", "--output", "-"]) == 2
 
     def test_bench_dash_skips_writing(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)

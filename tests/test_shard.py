@@ -1,0 +1,467 @@
+"""Tests for sharded trace-window replay: plan, kernel, merge, wiring.
+
+The parity contract under test (see :mod:`repro.sim.shard`):
+
+* overlap ``"full"`` (and any numeric overlap that covers every shard's
+  whole prefix) — merged statistics byte-identical to the sequential fast
+  kernel, floats included, across the entire configuration matrix;
+* any finite overlap — ``accesses`` exactly equal, the remaining headline
+  counters within :data:`~repro.sim.shard.SHARD_PARITY_TOLERANCE` on the
+  quick-training workloads the tolerance is asserted on;
+* sharding is spec identity: sharded and sequential results never alias in
+  the store, and ``jobs=1`` vs ``jobs=N`` merge byte-identically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.configs import CONFIGS
+from repro.experiments.parallel import BatchExecutor
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore
+from repro.sim.kernel import resolve_kernel
+from repro.sim.shard import (
+    SHARD_PARITY_TOLERANCE,
+    ShardOutcome,
+    merge_prefetcher_counters,
+    merge_shard_outcomes,
+    normalize_overlap,
+    plan_shards,
+    shard_parity_report,
+)
+from repro.sim.stats import SimulationStats, combine_stats
+from repro.sim.stream import access_columns, slice_columns
+
+
+def runner(**overrides) -> ExperimentRunner:
+    defaults = dict(
+        use_cache=False,
+        trace_overrides={"length": 2000},
+        warmup_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return ExperimentRunner(**defaults)
+
+
+def stats_dict(run: ExperimentRunner, workload="xalan", config="triangel") -> dict:
+    return asdict(run.run(workload, config))
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+class TestPlanShards:
+    def test_windows_partition_the_sampled_region(self):
+        plan = plan_shards(total_accesses=1000, warmup_accesses=300, shards=3)
+        assert plan.shard_count == 3
+        assert plan.windows[0].window_start == 300
+        assert plan.windows[-1].window_stop == 1000
+        for before, after in zip(plan.windows, plan.windows[1:]):
+            assert before.window_stop == after.window_start
+        # Earlier windows take the remainder: 700 = 234 + 233 + 233.
+        assert [w.window_accesses for w in plan.windows] == [234, 233, 233]
+
+    def test_warmup_entirely_inside_shard_zero(self):
+        plan = plan_shards(total_accesses=1000, warmup_accesses=300, shards=4)
+        first = plan.windows[0]
+        assert first.prefix_start == 0
+        assert first.sample_begin == 300
+        assert first.window_start == 300
+        assert first.exact
+
+    def test_warmup_overlap_prefixes(self):
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=300, shards=2, overlap="warmup"
+        )
+        second = plan.windows[1]
+        # One warm-up length of the predecessor's tail, replayed unsampled.
+        assert second.window_start - second.prefix_start == 300
+        assert second.sample_begin == second.window_start
+        assert not second.exact
+        assert not plan.exact
+
+    def test_full_overlap_makes_every_shard_exact(self):
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=300, shards=4, overlap="full"
+        )
+        assert plan.exact
+        for window in plan.windows:
+            assert window.prefix_start == 0
+            # Every full-prefix shard flushes at the true warm-up boundary.
+            assert window.sample_begin == 300
+
+    def test_numeric_overlap_clamps_to_exact(self):
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=300, shards=4, overlap=10_000
+        )
+        assert plan.exact
+
+    def test_max_accesses_caps_mid_shard(self):
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=300, shards=3, max_accesses=500
+        )
+        assert plan.windows[-1].window_stop == 800
+        assert plan.sampled_accesses == 500
+        assert [w.window_accesses for w in plan.windows] == [167, 167, 166]
+
+    def test_more_shards_than_accesses_degenerates(self):
+        plan = plan_shards(total_accesses=100, warmup_accesses=98, shards=8)
+        assert plan.shard_count == 1
+        assert plan.requested_shards == 8
+        only = plan.windows[0]
+        assert (only.prefix_start, only.window_start, only.window_stop) == (0, 98, 100)
+
+    def test_empty_sampled_region(self):
+        plan = plan_shards(total_accesses=100, warmup_accesses=100, shards=4)
+        assert plan.shard_count == 1
+        assert plan.sampled_accesses == 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="shard count"):
+            plan_shards(total_accesses=100, warmup_accesses=0, shards=0)
+
+    def test_describe_lists_every_window(self):
+        plan = plan_shards(total_accesses=1000, warmup_accesses=300, shards=2)
+        described = plan.describe()
+        assert "2 shard(s)" in described[0]
+        assert len(described) == 3
+        assert described[1].startswith("shard 0:")
+
+    def test_replayed_accesses_count_the_overlap_cost(self):
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=300, shards=2, overlap="warmup"
+        )
+        assert plan.replayed_accesses == sum(w.replay_accesses for w in plan.windows)
+        assert plan.replayed_accesses > plan.sampled_accesses
+
+
+class TestNormalizeOverlap:
+    def test_accepted_spellings(self):
+        assert normalize_overlap(None) == "warmup"
+        assert normalize_overlap("warmup") == "warmup"
+        assert normalize_overlap(" FULL ") == "full"
+        assert normalize_overlap("25") == 25
+        assert normalize_overlap(0) == 0
+
+    @pytest.mark.parametrize("bad", ["never", -1, "-3", True, 2.5])
+    def test_rejected_spellings(self, bad):
+        with pytest.raises(ValueError):
+            normalize_overlap(bad)
+
+
+# ---------------------------------------------------------------------------
+# Column slicing (the zero-copy seam the shard kernel relies on)
+# ---------------------------------------------------------------------------
+class TestSliceColumns:
+    def test_buffer_columns_are_views(self):
+        from repro.workloads.registry import generate_workload
+
+        columns = access_columns(generate_workload("xalan", length=64))
+        window = slice_columns(columns, 10, 30)
+        assert window.length == 20
+        assert isinstance(window.pcs, memoryview)
+        assert list(window.pcs) == list(columns.pcs[10:30])
+        assert list(window.writes) == list(columns.writes[10:30])
+
+    def test_out_of_range_clamps(self):
+        from repro.workloads.registry import generate_workload
+
+        columns = access_columns(generate_workload("xalan", length=16))
+        assert slice_columns(columns, 10, 99).length == 6
+        assert slice_columns(columns, 30, 40).length == 0
+
+
+# ---------------------------------------------------------------------------
+# Kernel + merge parity
+# ---------------------------------------------------------------------------
+class TestExactParity:
+    @pytest.mark.parametrize("configuration", CONFIGS.names())
+    def test_full_overlap_bit_identical_across_matrix(self, configuration):
+        """Acceptance: the sharded kernel vs sequential fast, full CONFIGS."""
+
+        sequential = stats_dict(runner(), config=configuration)
+        for shards in (2, 4):
+            sharded = stats_dict(
+                runner(shards=shards, shard_overlap="full"), config=configuration
+            )
+            assert sharded == sequential, f"K={shards} diverged"
+
+    def test_huge_numeric_overlap_is_exact(self):
+        sequential = stats_dict(runner())
+        sharded = stats_dict(runner(shards=3, shard_overlap=10_000))
+        assert sharded == sequential
+
+    def test_max_accesses_cap_landing_mid_shard(self):
+        sequential = stats_dict(runner(max_accesses=777))
+        sharded = stats_dict(runner(max_accesses=777, shards=4, shard_overlap="full"))
+        assert sharded == sequential
+
+    def test_more_shards_than_accesses_runs_sequentially(self):
+        sequential = stats_dict(runner(max_accesses=3))
+        sharded = stats_dict(runner(max_accesses=3, shards=64))
+        assert sharded == sequential
+
+    def test_fast_sharded_kernel_name_with_one_shard(self):
+        assert resolve_kernel("fast-sharded") == "fast-sharded"
+        sequential = stats_dict(runner())
+        aliased = stats_dict(runner(kernel="fast-sharded"))
+        assert aliased == sequential
+
+
+class TestFiniteOverlapParity:
+    def test_accesses_exact_and_counters_within_tolerance(self):
+        """The documented finite-overlap contract, on a quick-training chain."""
+
+        overrides = {"nodes": 48, "repeats": 200}
+        for configuration in ("baseline", "triage", "triangel"):
+            sequential = asdict(
+                runner(trace_overrides=overrides, warmup_fraction=0.25).run(
+                    "pointer_chase", configuration
+                )
+            )
+            for shards in (2, 4):
+                merged = asdict(
+                    runner(
+                        trace_overrides=overrides,
+                        warmup_fraction=0.25,
+                        shards=shards,
+                        shard_overlap="warmup",
+                    ).run("pointer_chase", configuration)
+                )
+                report = shard_parity_report(sequential, merged)
+                assert report["accesses"] == 0
+                worst = max(v for k, v in report.items() if k != "accesses")
+                assert worst <= SHARD_PARITY_TOLERANCE, (configuration, shards)
+
+    def test_warmup_spanning_a_shard_boundary(self):
+        """A warm-up longer than a window reaches into earlier shards' tails."""
+
+        plan = plan_shards(
+            total_accesses=1000, warmup_accesses=600, shards=4, overlap="warmup"
+        )
+        # Window size is 100; the 600-access overlap of shard 2 starts
+        # before shard 1's window does (500 < 700).
+        assert plan.windows[2].prefix_start < plan.windows[1].window_start
+        sequential = stats_dict(runner(warmup_fraction=0.6))
+        merged = stats_dict(runner(warmup_fraction=0.6, shards=4))
+        report = shard_parity_report(sequential, merged)
+        assert report["accesses"] == 0
+
+
+class TestMerge:
+    def outcome(self, index: int, accesses: int = 5, exact: bool = True):
+        stats = SimulationStats(workload="w", configuration="c", accesses=accesses)
+        stats.cycles = float(accesses)
+        stats.markov_final_ways = index
+        return ShardOutcome(
+            index=index,
+            stats=stats,
+            prefetcher_counters={"triangel": {"trains": index + 1}},
+            clock_sample_start=10.0,
+            clock_window_start=10.0 + index,
+            clock_end=20.0 + index,
+            stall_window_start=1.0,
+            stall_end=2.0 + index,
+            exact=exact,
+        )
+
+    def test_merge_is_order_insensitive_but_index_aware(self):
+        merged = merge_shard_outcomes([self.outcome(1), self.outcome(0)])
+        assert merged.accesses == 10
+        # Endpoint reconstruction: last.clock_end - first.clock_sample_start.
+        assert merged.cycles == 21.0 - 10.0
+        assert merged.late_prefetch_stall_cycles == 3.0 - 1.0
+        assert merged.markov_final_ways == 1
+
+    def test_inexact_outcomes_sum_instead(self):
+        merged = merge_shard_outcomes(
+            [self.outcome(0), self.outcome(1, exact=False)]
+        )
+        assert merged.cycles == 10.0  # summed window deltas, no endpoints
+
+    def test_merge_rejects_gaps_and_duplicates(self):
+        with pytest.raises(ValueError):
+            merge_shard_outcomes([])
+        with pytest.raises(ValueError):
+            merge_shard_outcomes([self.outcome(0), self.outcome(2)])
+        with pytest.raises(ValueError):
+            merge_shard_outcomes([self.outcome(1), self.outcome(1)])
+
+    def test_merge_prefetcher_counters_sums(self):
+        merged = merge_prefetcher_counters([self.outcome(0), self.outcome(1)])
+        assert merged == {"triangel": {"trains": 3}}
+
+    def test_combine_stats_takes_last_markov_ways(self):
+        parts = [self.outcome(0).stats, self.outcome(1).stats]
+        assert combine_stats(parts).markov_final_ways == 1
+        with pytest.raises(ValueError):
+            combine_stats([])
+
+
+# ---------------------------------------------------------------------------
+# Spec identity, store keys, executor fan-out
+# ---------------------------------------------------------------------------
+class TestSpecAndStore:
+    def test_default_spec_dict_has_no_shard_keys(self):
+        spec = runner().spec_for("xalan", "triangel")
+        data = spec.as_dict()
+        assert "shards" not in data
+        assert "shard_overlap" not in data
+
+    def test_sharded_spec_rekeys(self):
+        sequential = runner().spec_for("xalan", "triangel")
+        sharded = runner(shards=2).spec_for("xalan", "triangel")
+        assert sharded.as_dict()["shards"] == 2
+        assert sharded.as_dict()["shard_overlap"] == "warmup"
+        assert sharded.content_hash() != sequential.content_hash()
+        assert (
+            runner(shards=2, shard_overlap="full").spec_for("xalan", "triangel")
+            .content_hash()
+            != sharded.content_hash()
+        )
+
+    def test_sequential_cache_never_serves_sharded_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner(use_cache=True, store=store).run("xalan", "triangel")
+        puts = store.puts
+        runner(use_cache=True, store=store, shards=2).run("xalan", "triangel")
+        assert store.puts == puts + 1  # a miss, not a replay
+
+    def test_reference_kernel_rejects_sharding(self):
+        with pytest.raises(ValueError, match="fast kernel only"):
+            runner(shards=2, kernel="reference").run("xalan", "triangel")
+
+    def test_multiprogram_rejects_sharding(self):
+        with pytest.raises(ValueError, match="multiprogrammed"):
+            runner(shards=2).multiprogram_spec_for(["xalan", "mcf"], "triangel")
+
+    def test_shard_worker_rejects_bad_index(self):
+        from repro.experiments.jobs import execute_spec_shard
+
+        spec = runner(shards=2).spec_for("xalan", "triangel")
+        with pytest.raises(ValueError, match="out of range"):
+            execute_spec_shard(spec, 9)
+
+
+class TestExecutorFanOut:
+    def test_jobs4_matches_jobs1_byte_identical(self, tmp_path):
+        """Acceptance: cross-process sharded merge equals the serial one."""
+
+        serial = runner(
+            use_cache=True, store=ResultStore(tmp_path / "serial"), shards=4, jobs=1
+        )
+        pooled = runner(
+            use_cache=True, store=ResultStore(tmp_path / "pooled"), shards=4, jobs=4
+        )
+        workloads = ["xalan", "mcf"]
+        a = serial.run_matrix(workloads, ["baseline", "triangel"])
+        b = pooled.run_matrix(workloads, ["baseline", "triangel"])
+        for workload in workloads:
+            for configuration in ("baseline", "triangel"):
+                assert asdict(a[workload][configuration]) == asdict(
+                    b[workload][configuration]
+                )
+
+    def test_pool_runs_shards_alongside_other_specs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = runner(use_cache=True, store=store, shards=2, jobs=4)
+        specs = [
+            run.spec_for("xalan", "triangel"),
+            run.spec_for("omnet", "baseline"),
+        ]
+        results = BatchExecutor(store=store, jobs=4, kernel=None).run(specs)
+        assert set(results) == set(specs)
+        assert store.puts == 2
+        sequential = stats_dict(runner(shards=1))
+        merged = asdict(results[specs[0]])
+        assert shard_parity_report(sequential, merged)["accesses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+class TestShardCli:
+    ARGS = [
+        "run",
+        "xalan",
+        "--config",
+        "triangel",
+        "--trace-length",
+        "1500",
+        "--no-cache",
+    ]
+
+    def run_cli(self, extra, capsys):
+        from repro.cli import main
+
+        assert main(self.ARGS + extra) == 0
+        return capsys.readouterr().out
+
+    def test_full_overlap_output_identical_to_sequential(self, capsys):
+        sequential = self.run_cli([], capsys)
+        sharded = self.run_cli(["--shards", "2", "--shard-overlap", "full"], capsys)
+        assert sharded == sequential
+
+    def test_env_var_supplies_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        with_env = self.run_cli(["--shard-overlap", "full"], capsys)
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert with_env == self.run_cli([], capsys)
+
+    def test_explicit_flag_beats_env(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SHARDS", "not-a-number")
+        assert main(self.ARGS) == 2  # env still validated when consulted...
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert main(self.ARGS + ["--shards", "2", "--shard-overlap", "full"]) == 0
+
+    def test_rejects_bad_values(self, capsys):
+        from repro.cli import main
+
+        assert main(self.ARGS + ["--shards", "0"]) == 2
+        assert main(self.ARGS + ["--shards", "2", "--shard-overlap", "never"]) == 2
+        err = capsys.readouterr().err
+        assert "repro:" in err
+
+    def test_trace_info_reports_the_plan(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        assert main(["trace", "record", "mcf", "--length", "1000"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", "trace:mcf", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shard plan:" in out
+        assert "3 shard(s)" in out
+        assert "shard 2:" in out
+
+
+# ---------------------------------------------------------------------------
+# Sharded replay over mmap-backed on-disk traces
+# ---------------------------------------------------------------------------
+class TestShardedTraceReplay:
+    def test_recorded_trace_shards_match_sequential(self, tmp_path, monkeypatch):
+        from repro.traces.format import load_trace
+        from repro.traces.recorder import record_workload
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        path = record_workload(
+            "pointer_chase",
+            directory=tmp_path,
+            overrides={"nodes": 32, "repeats": 60},
+        )
+        assert isinstance(load_trace(path)._pcs, memoryview)  # mmap-backed
+        sequential = asdict(
+            runner(trace_overrides={}).run("trace:pointer_chase", "triangel")
+        )
+        sharded = asdict(
+            runner(trace_overrides={}, shards=4, shard_overlap="full").run(
+                "trace:pointer_chase", "triangel"
+            )
+        )
+        assert sharded == sequential
