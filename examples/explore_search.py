@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Design-space search: screen on sampled windows, confirm on the full trace.
+
+The end-to-end ``repro.experiments.explore`` workflow:
+
+1. declare a search space — Triage replacement policies × metadata-cache
+   capacities — over the Xalancbmk-like workload;
+2. run a successive-halving search: every candidate screens on a sampled
+   prefix window, survivors replay on longer windows, and the last one is
+   confirmed on the full trace;
+3. print the Pareto front (coverage/accuracy vs metadata traffic) and
+   check the full-trace confirmation agrees with the screen's top pick.
+
+Every evaluated point goes through the executor and the result store, so
+re-running this script replays everything from ``.repro_cache/`` without
+executing a single simulation.
+
+Run with::
+
+    PYTHONPATH=src python examples/explore_search.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SearchSpace, render_search, run_search
+
+
+def main() -> int:
+    space = SearchSpace.create(
+        workloads=("xalan",),
+        configurations=("triage-lru", "triage-srrip"),
+        param_grid={"max_entries": (64, 4096)},
+    )
+    print(
+        f"Searching {len(space.candidates())} candidates "
+        "(screen windows first, full trace last)...\n"
+    )
+    result = run_search(
+        space,
+        strategy="halving",
+        seed=0,
+        trace_overrides={"length": 8000},
+        screen_accesses=4000,
+        confirm=2,
+    )
+    print(render_search(result))
+
+    if not result.screen_confirms:
+        print("\nunexpected: the screen's top pick lost the full-trace confirmation")
+        return 1
+    print(
+        "\nExpected shape (paper, section 3.3): the sampled screen eliminates the"
+        "\nsmall-capacity candidates on half the trace, and the two surviving"
+        "\nlarge-cache policies confirm with identical metrics — on this workload"
+        "\nmetadata-cache capacity, not replacement policy, decides coverage."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the Triangel reproduction.
 
-Seven subcommands cover the common workflows without writing any Python:
+Eight subcommands cover the common workflows without writing any Python:
 
 ``list``
     Show the available workloads, prefetcher configurations (parameterised
@@ -29,6 +29,19 @@ Seven subcommands cover the common workflows without writing any Python:
     resolve as first-class ``trace:<name>`` workloads everywhere a
     workload name is accepted — ``repro run``, ``--workloads`` study
     overrides, multiprogram pairs.
+``explore``
+    Search the configuration design space (:mod:`repro.experiments.
+    explore`): ``run`` a grid, seeded-random, or successive-halving search
+    — halving screens candidates on cheap sampled trace windows before
+    promoting survivors to full-trace confirmation — ``describe`` the
+    compiled plan without simulating, or ``resume`` a killed search from
+    its directory's manifest.  Every evaluated point is a normal spec in
+    the result store, so resumed (or re-run) searches replay completed
+    evaluations and re-execute nothing; results land as a Pareto front of
+    coverage/accuracy against metadata traffic (``front.json``) plus a
+    provenance log (``log.jsonl``).  Axis overrides (``--workloads``,
+    ``--configs``, ``--set max_entries=64,4096``, ``--set scale=0.5,1``)
+    are validated up front, exactly as ``study run`` overrides are.
 ``bench``
     Measure simulated accesses/second under both execution kernels (the
     readable reference engine and the fused columnar fast kernel of
@@ -73,6 +86,10 @@ Examples::
     python -m repro trace info trace:leela
     python -m repro trace sample trace:leela --window 5000:20000 --name leela_hot
     python -m repro study run fig10 --workloads trace:leela --configs triangel
+    python -m repro explore describe --set max_entries=64,256,1024
+    python -m repro explore run --strategy halving --budget 12 --jobs 4
+    python -m repro explore run --strategy random --seed 7 --set scale=0.5,1.0
+    python -m repro explore resume --dir .repro_search
     python -m repro run xalan --kernel reference --no-cache
     python -m repro bench
     python -m repro cache show
@@ -310,6 +327,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(sample_parser)
 
+    explore_parser = subparsers.add_parser(
+        "explore",
+        help="search the configuration design space "
+        "(grid, random, successive halving on sampled windows)",
+    )
+    explore_subparsers = explore_parser.add_subparsers(
+        dest="explore_command", required=True
+    )
+
+    def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+        """The flags declaring a search (shared by ``run`` and ``describe``)."""
+
+        parser.add_argument(
+            "--strategy",
+            choices=("grid", "random", "halving"),
+            default="halving",
+            help="search strategy (default: halving — screen on sampled "
+            "windows, confirm survivors on the full trace)",
+        )
+        parser.add_argument(
+            "--budget",
+            type=int,
+            default=None,
+            help="cap on candidate evaluations (rung entrants summed); the "
+            "selection shrinks to fit, never exceeding it",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0,
+            help="seed of the random/halving candidate order (default: 0)",
+        )
+        parser.add_argument(
+            "--workloads",
+            default=None,
+            metavar="W1[,W2...]",
+            help="workload axis override (default: xalan)",
+        )
+        parser.add_argument(
+            "--configs",
+            default=None,
+            metavar="C1[,C2...]",
+            help="configuration axis override "
+            "(default: triage-lru,triage-srrip,triage-hawkeye)",
+        )
+        parser.add_argument(
+            "--set",
+            action="append",
+            dest="sets",
+            default=None,
+            metavar="KEY=V1[,V2...]",
+            help="axis override: a comma list per key — configuration "
+            "parameters become grid axes (--set max_entries=64,4096), "
+            "'scale' a system-scale axis, 'system'/'baseline' single names",
+        )
+        parser.add_argument(
+            "--objective",
+            choices=("accuracy", "coverage", "metadata_traffic", "speedup"),
+            default="coverage",
+            help="metric the strategies rank candidates by (default: coverage)",
+        )
+        parser.add_argument(
+            "--screen-accesses",
+            type=int,
+            default=None,
+            help="first screen rung's window length (default: 2000; doubles "
+            "by --eta per rung)",
+        )
+        parser.add_argument(
+            "--eta",
+            type=int,
+            default=None,
+            help="halving rate: survivors per rung ≈ entrants/eta, screen "
+            "windows grow by eta (default: 2)",
+        )
+        parser.add_argument(
+            "--confirm",
+            type=int,
+            default=None,
+            help="stop screening at this many survivors and run them on the "
+            "full trace (default: 3)",
+        )
+        parser.add_argument(
+            "--trace-length",
+            type=int,
+            default=None,
+            help="truncate/extend generated source traces to N accesses "
+            "(screens are carved from the overridden stream)",
+        )
+
+    explore_run_parser = explore_subparsers.add_parser(
+        "run", help="run a search and print its Pareto front"
+    )
+    _add_search_arguments(explore_run_parser)
+    explore_run_parser.add_argument(
+        "--dir",
+        dest="search_dir",
+        default=None,
+        help="search directory for the manifest, screens, log and front "
+        "(default: .repro_search)",
+    )
+    _add_execution_arguments(explore_run_parser)
+    explore_describe_parser = explore_subparsers.add_parser(
+        "describe", help="show a search's candidates and rung plan (no simulation)"
+    )
+    _add_search_arguments(explore_describe_parser)
+    explore_resume_parser = explore_subparsers.add_parser(
+        "resume",
+        help="re-run the search a directory's manifest describes; completed "
+        "evaluations replay from the store",
+    )
+    explore_resume_parser.add_argument(
+        "--dir",
+        dest="search_dir",
+        default=None,
+        help="search directory holding search.json (default: .repro_search)",
+    )
+    _add_execution_arguments(explore_resume_parser)
+
     bench_parser = subparsers.add_parser(
         "bench",
         help="measure simulated accesses/second under both execution kernels",
@@ -490,6 +624,21 @@ def _command_figure(args: argparse.Namespace) -> str:
     return FIGURE_COMMANDS[args.name](runner).rendered
 
 
+def _split_names(raw: str | None, flag: str) -> list[str] | None:
+    """Split a comma-separated name list, tolerating whitespace.
+
+    An explicitly given but empty list is an error — overriding an axis
+    to nothing would print a degenerate table, not fail loudly.
+    """
+
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise ValueError(f"{flag}: no names given")
+    return names
+
+
 def _command_study(args: argparse.Namespace) -> str | None:
     """Implement ``repro study list|describe|run``.
 
@@ -507,23 +656,8 @@ def _command_study(args: argparse.Namespace) -> str | None:
 
     # -- run ---------------------------------------------------------------
     assignments = parse_assignments(args.sets)
-
-    def split_names(raw: str | None, flag: str) -> list[str] | None:
-        """Split a comma-separated name list, tolerating whitespace.
-
-        An explicitly given but empty list is an error — overriding an axis
-        to nothing would print a degenerate table, not fail loudly.
-        """
-
-        if raw is None:
-            return None
-        names = [name.strip() for name in raw.split(",") if name.strip()]
-        if not names:
-            raise ValueError(f"{flag}: no names given")
-        return names
-
-    workloads = split_names(args.workloads, "--workloads")
-    configurations = split_names(args.configs, "--configs")
+    workloads = _split_names(args.workloads, "--workloads")
+    configurations = _split_names(args.configs, "--configs")
     if args.all:
         # Axis overrides are per-study (a scale valid for fig10 is invalid
         # for table2's fixed paper system); combining them with --all would
@@ -815,6 +949,69 @@ def _command_trace(args: argparse.Namespace) -> str:
     )
 
 
+def _command_explore(args: argparse.Namespace) -> str:
+    """Implement ``repro explore run|describe|resume``."""
+
+    from repro.experiments import explore
+
+    if args.explore_command == "resume":
+        directory = args.search_dir or explore.DEFAULT_SEARCH_DIR
+        result = explore.resume_search(
+            directory,
+            store=_store_for(args),
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            kernel=args.kernel,
+            shards=_resolve_shards(args),
+            shard_overlap=args.shard_overlap or "warmup",
+        )
+        return explore.render_search(result)
+
+    space = explore.overridden_space(
+        workloads=_split_names(args.workloads, "--workloads"),
+        configurations=_split_names(args.configs, "--configs"),
+        assignments=parse_assignments(args.sets),
+    )
+    # None-guarded so `describe` and `run` share the library defaults with
+    # programmatic callers instead of re-declaring them here.
+    tuning = {
+        key: value
+        for key, value in (
+            ("screen_accesses", args.screen_accesses),
+            ("eta", args.eta),
+            ("confirm", args.confirm),
+        )
+        if value is not None
+    }
+    if args.explore_command == "describe":
+        return explore.describe_search(
+            space,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            objective=args.objective,
+            trace_overrides=_trace_overrides(args),
+            **tuning,
+        )
+    result = explore.run_search(
+        space,
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+        directory=args.search_dir or explore.DEFAULT_SEARCH_DIR,
+        objective=args.objective,
+        trace_overrides=_trace_overrides(args),
+        store=_store_for(args),
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        kernel=args.kernel,
+        shards=_resolve_shards(args),
+        shard_overlap=args.shard_overlap or "warmup",
+        **tuning,
+    )
+    return explore.render_search(result)
+
+
 def _command_bench(args: argparse.Namespace) -> str:
     """Implement ``repro bench``: kernel microbenchmark + JSON record."""
 
@@ -890,6 +1087,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(output)
         elif args.command == "trace":
             print(_command_trace(args))
+        elif args.command == "explore":
+            print(_command_explore(args))
         elif args.command == "bench":
             from repro.experiments.bench import BenchParityError
 

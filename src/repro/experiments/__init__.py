@@ -13,6 +13,12 @@ both kinds across processes.
 policy (system, jobs, store), and
 :data:`~repro.experiments.studies.STUDIES` holds every figure and table of
 the paper as a registered study.
+
+On top of that pipeline, :mod:`repro.experiments.explore` searches the
+configuration design space (grid, seeded random, successive halving on
+sampled trace windows) with every evaluated point persisted through the
+same store, reducing to Pareto fronts of coverage/accuracy against
+metadata traffic.
 """
 
 from repro.experiments.configs import (
@@ -26,6 +32,19 @@ from repro.experiments.configs import (
     available_configurations,
     build_prefetchers,
     configuration_signatures,
+)
+from repro.experiments.explore import (
+    Candidate,
+    Explorer,
+    SearchPlan,
+    SearchResult,
+    SearchSpace,
+    describe_search,
+    pareto_front,
+    plan_search,
+    render_search,
+    resume_search,
+    run_search,
 )
 from repro.experiments.jobs import (
     MultiProgramSpec,

@@ -1,0 +1,473 @@
+"""Tests for the design-space search layer (:mod:`repro.experiments.explore`).
+
+Three groups:
+
+* property-based tests (hypothesis) on the pure planner — rungs partition
+  the selection, budgets are never exceeded, identical seeds reproduce
+  identical candidate sequences, Pareto membership is order-invariant;
+* a differential screen-vs-full test on a recorded ``.rtrc`` workload —
+  the sampled-window screen must rank the known-separable
+  ``max_entries`` 64 vs 4096 pair exactly as the full runs do, within a
+  recorded rank-error bound;
+* resumability — a search killed mid-rung resumes from the store with
+  zero re-executed specs and a byte-identical final front — plus the
+  ``repro explore`` CLI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.experiments.explore import (
+    DEFAULT_CONFIGURATIONS,
+    STRATEGIES,
+    Candidate,
+    Evaluation,
+    Explorer,
+    SearchSpace,
+    candidate_order,
+    overridden_space,
+    pareto_front,
+    plan_search,
+    resume_search,
+    run_search,
+)
+from repro.experiments.store import ResultStore
+
+counts = st.integers(min_value=1, max_value=160)
+budgets = st.one_of(st.none(), st.integers(min_value=1, max_value=400))
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+etas = st.integers(min_value=2, max_value=5)
+confirms = st.integers(min_value=1, max_value=8)
+strategies = st.sampled_from(STRATEGIES)
+
+
+# ---------------------------------------------------------------------------
+# The pure planner
+# ---------------------------------------------------------------------------
+class TestPlanProperties:
+    @given(
+        count=counts, budget=budgets, seed=seeds, eta=etas,
+        confirm=confirms, strategy=strategies,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_budget_never_exceeded(self, count, budget, seed, eta, confirm, strategy):
+        plan = plan_search(
+            count, strategy, budget=budget, seed=seed, eta=eta, confirm=confirm
+        )
+        if budget is not None:
+            assert plan.total_evaluations <= budget
+        assert len(plan.selected) + plan.dropped == count
+        # The selection is a subset of the space, each candidate at most once.
+        assert len(set(plan.selected)) == len(plan.selected)
+        assert all(0 <= index < count for index in plan.selected)
+
+    @given(count=counts, budget=budgets, seed=seeds, eta=etas, confirm=confirms)
+    @settings(max_examples=120, deadline=None)
+    def test_halving_rungs_partition_the_selection(
+        self, count, budget, seed, eta, confirm
+    ):
+        plan = plan_search(
+            count, "halving", budget=budget, seed=seed, eta=eta, confirm=confirm
+        )
+        rungs = plan.rungs
+        assert rungs[0].entrants == len(plan.selected)
+        # Survivors of one rung are exactly the next rung's entrants, so the
+        # per-rung eliminated sets plus the final rung partition the selection.
+        for before, after in zip(rungs, rungs[1:]):
+            assert before.survivors == after.entrants
+            assert before.survivors < before.entrants
+        eliminated = sum(rung.entrants - rung.survivors for rung in rungs)
+        assert eliminated + rungs[-1].entrants == len(plan.selected)
+        # Screens first (geometric ladder), full-trace confirmation last.
+        assert rungs[-1].accesses is None
+        for rung in rungs[:-1]:
+            assert rung.accesses == 2000 * eta**rung.index
+
+    @given(count=counts, budget=budgets, seed=seeds, strategy=strategies)
+    @settings(max_examples=120, deadline=None)
+    def test_identical_seeds_reproduce_identical_sequences(
+        self, count, budget, seed, strategy
+    ):
+        first = plan_search(count, strategy, budget=budget, seed=seed)
+        second = plan_search(count, strategy, budget=budget, seed=seed)
+        assert first == second
+        assert candidate_order(count, strategy, seed) == candidate_order(
+            count, strategy, seed
+        )
+
+    @given(count=counts, budget=budgets, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_grid_keeps_declaration_order(self, count, budget, seed):
+        plan = plan_search(count, "grid", budget=budget, seed=seed)
+        assert list(plan.selected) == list(range(len(plan.selected)))
+
+    def test_degenerate_budget_still_evaluates_one_candidate(self):
+        plan = plan_search(40, "halving", budget=1)
+        assert plan.total_evaluations == 1
+        assert plan.rungs[-1].accesses is None  # straight to full trace
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            plan_search(4, "anneal")
+        with pytest.raises(ValueError, match="no candidates"):
+            plan_search(0, "grid")
+        with pytest.raises(ValueError, match="--budget"):
+            plan_search(4, "grid", budget=0)
+        with pytest.raises(ValueError, match="--eta"):
+            plan_search(4, "halving", eta=1)
+
+
+metric_triples = st.tuples(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+)
+
+
+def _evaluation(index: int, triple) -> Evaluation:
+    coverage, accuracy, metadata = triple
+    metrics = {
+        "coverage": float(coverage),
+        "accuracy": float(accuracy),
+        "speedup": 1.0,
+        "metadata_traffic": float(metadata),
+    }
+    return Evaluation(
+        candidate=Candidate(configuration=f"cfg{index}"),
+        rung=0,
+        accesses=None,
+        score=metrics["coverage"],
+        metrics=metrics,
+    )
+
+
+class TestParetoProperties:
+    @given(
+        triples=st.lists(metric_triples, min_size=1, max_size=12),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_membership_invariant_to_evaluation_order(self, triples, seed):
+        import random
+
+        evaluations = [_evaluation(i, triple) for i, triple in enumerate(triples)]
+        shuffled = list(evaluations)
+        random.Random(seed).shuffle(shuffled)
+        original = [e.candidate.label() for e in pareto_front(evaluations)]
+        permuted = [e.candidate.label() for e in pareto_front(shuffled)]
+        assert original == permuted
+
+    @given(triples=st.lists(metric_triples, min_size=1, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_front_members_are_non_dominated(self, triples):
+        evaluations = [_evaluation(i, triple) for i, triple in enumerate(triples)]
+        front = pareto_front(evaluations)
+        assert front  # a non-empty set always has a non-dominated point
+        labels = {e.candidate.label() for e in front}
+        for evaluation in evaluations:
+            dominated = any(
+                other.metrics["coverage"] >= evaluation.metrics["coverage"]
+                and other.metrics["accuracy"] >= evaluation.metrics["accuracy"]
+                and other.metrics["metadata_traffic"]
+                <= evaluation.metrics["metadata_traffic"]
+                and other.metrics != evaluation.metrics
+                for other in evaluations
+            )
+            if not dominated:
+                assert evaluation.candidate.label() in labels
+
+
+# ---------------------------------------------------------------------------
+# The space
+# ---------------------------------------------------------------------------
+class TestSearchSpace:
+    def test_candidates_cross_only_applicable_parameters(self):
+        space = SearchSpace.create(
+            workloads=("xalan",),
+            configurations=("triangel", "triage-lru"),
+            param_grid={"max_entries": (64, 128)},
+        )
+        labels = [candidate.label() for candidate in space.candidates()]
+        # The plain configuration enumerates once; the parameterised one per
+        # grid value; identical calls enumerate identically.
+        assert labels == [
+            "triangel",
+            "triage-lru[max_entries=64]",
+            "triage-lru[max_entries=128]",
+        ]
+        assert labels == [candidate.label() for candidate in space.candidates()]
+
+    def test_scales_multiply_the_space(self):
+        space = SearchSpace.create(
+            workloads=("xalan",), configurations=("triangel",), scales=(0.5, 1.0)
+        )
+        assert [c.label() for c in space.candidates()] == [
+            "triangel @scale=0.5",
+            "triangel",
+        ]
+
+    def test_validation_matches_study_overrides(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            SearchSpace.create(workloads=("nope",), configurations=("triangel",))
+        with pytest.raises(ValueError, match="unknown configuration"):
+            SearchSpace.create(workloads=("xalan",), configurations=("nope",))
+        with pytest.raises(ValueError, match="unknown baseline"):
+            SearchSpace.create(
+                workloads=("xalan",), configurations=("triangel",), baseline="nope"
+            )
+        with pytest.raises(ValueError, match="match neither"):
+            SearchSpace.create(
+                workloads=("xalan",),
+                configurations=("triangel",),
+                param_grid={"bogus": (1,)},
+            )
+        with pytest.raises(ValueError, match="no values"):
+            SearchSpace.create(
+                workloads=("xalan",),
+                configurations=("triage-lru",),
+                param_grid={"max_entries": ()},
+            )
+
+    def test_overridden_space_parses_comma_lists(self):
+        space = overridden_space(
+            assignments={"max_entries": "64,4096", "scale": "0.5,1.0"}
+        )
+        assert space.configurations == DEFAULT_CONFIGURATIONS
+        assert space.param_grid_dict() == {"max_entries": (64, 4096)}
+        assert space.scales == (0.5, 1.0)
+
+    def test_overridden_space_round_trips_through_manifest_form(self):
+        space = overridden_space(assignments={"max_entries": "64,4096"})
+        assert SearchSpace.from_dict(space.as_dict()) == space
+
+
+# ---------------------------------------------------------------------------
+# Differential: the sampled-window screen vs the full trace
+# ---------------------------------------------------------------------------
+class TestScreenVersusFull:
+    def test_screen_ranks_separable_pair_like_full_runs(self, tmp_path, monkeypatch):
+        """A 6000-access prefix screen of a recorded 8000-access xalan trace
+        ranks ``max_entries`` 64 vs 4096 exactly as the full trace does.
+
+        Measured on this seed-fixed workload: coverage 0.0126 (cap 64) vs
+        0.1780 (cap 4096) at the screen, 0.0391 vs 0.3767 at the full
+        trace — same ranking, and the per-candidate screen-vs-full score
+        error stays below the recorded 0.25 bound (measured: 0.027 for
+        cap 64, 0.199 for cap 4096).
+        """
+
+        from repro.traces.recorder import record_workload
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        record_workload(
+            "xalan", tmp_path / "traces", name="xl", overrides={"length": 8000}
+        )
+        space = SearchSpace.create(
+            workloads=("trace:xl",),
+            configurations=("triage-lru",),
+            param_grid={"max_entries": (64, 4096)},
+        )
+        explorer = Explorer(
+            space=space,
+            directory=tmp_path / "search",
+            store=ResultStore(tmp_path / "store"),
+            objective="coverage",
+        )
+        with explorer:
+            candidates = space.candidates()
+            screen = {
+                e.candidate: e for e in explorer.evaluate(candidates, accesses=6000)
+            }
+            full = {e.candidate: e for e in explorer.evaluate(candidates)}
+
+        def ranking(evaluations):
+            return sorted(
+                evaluations, key=lambda candidate: -evaluations[candidate].score
+            )
+
+        assert ranking(screen) == ranking(full)
+        # The screen separates the pair decisively, not by a float hair.
+        screen_scores = sorted(e.score for e in screen.values())
+        assert screen_scores[1] - screen_scores[0] > 0.05
+        # Rank-error bound: the screen's score may drift from the full
+        # trace's, but never by enough to flip this pair.
+        for candidate in candidates:
+            assert abs(screen[candidate].score - full[candidate].score) < 0.25
+
+    def test_saturated_screen_reuses_the_full_runs(self, tmp_path, monkeypatch):
+        """A screen at least as long as the source IS the full run (shared
+        store entries, no duplicate screen file)."""
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        space = SearchSpace.create(workloads=("xalan",), configurations=("triangel",))
+        explorer = Explorer(
+            space=space,
+            directory=tmp_path / "search",
+            store=ResultStore(tmp_path / "store"),
+            trace_overrides={"length": 1000},
+        )
+        with explorer:
+            [screened] = explorer.evaluate(space.candidates(), accesses=5000)
+            [full] = explorer.evaluate(space.candidates())
+        assert screened.spec_digests == full.spec_digests
+        assert not (tmp_path / "search" / "screens").exists()
+
+
+# ---------------------------------------------------------------------------
+# Resumability: kill mid-rung, resume with zero re-execution
+# ---------------------------------------------------------------------------
+class TestResume:
+    def test_killed_search_resumes_with_zero_reexecution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        space = SearchSpace.create(
+            workloads=("xalan",),
+            configurations=("triage-lru", "triage-srrip"),
+            param_grid={"max_entries": (64, 4096)},
+        )
+        directory = tmp_path / "search"
+        store_dir = tmp_path / "store"
+        options = dict(
+            objective="metadata_traffic",
+            trace_overrides={"length": 1600},
+            screen_accesses=500,
+            confirm=2,
+        )
+
+        # Kill the search mid-rung: the first (screen) rung completes and
+        # persists, then the executor dies before the confirmation rung.
+        real_evaluate = Explorer.evaluate
+        calls = {"count": 0}
+
+        def dying_evaluate(self, *args, **kwargs):
+            if calls["count"] == 1:
+                raise RuntimeError("killed mid-rung")
+            calls["count"] += 1
+            return real_evaluate(self, *args, **kwargs)
+
+        monkeypatch.setattr(Explorer, "evaluate", dying_evaluate)
+        interrupted_store = ResultStore(store_dir)
+        with pytest.raises(RuntimeError, match="killed mid-rung"):
+            run_search(
+                space,
+                strategy="halving",
+                seed=3,
+                directory=directory,
+                store=interrupted_store,
+                **options,
+            )
+        monkeypatch.setattr(Explorer, "evaluate", real_evaluate)
+        # Rung 0 persisted: 4 screen candidates + the screen baseline.
+        assert interrupted_store.puts == 5
+        assert (directory / "search.json").exists()
+
+        # Resume re-runs the same plan; the screen rung replays from the
+        # store (digest-stable screen re-save) and only the final rung's
+        # cells — 2 survivors + the full-trace baseline — execute.
+        resumed_store = ResultStore(store_dir)
+        result = resume_search(directory, store=resumed_store)
+        assert resumed_store.hits == 5
+        assert resumed_store.puts == 3
+        assert result.store_executed == 3
+        front_bytes = (directory / "front.json").read_bytes()
+
+        # A second resume re-executes nothing, byte-identically.
+        warm_store = ResultStore(store_dir)
+        warm = resume_search(directory, store=warm_store)
+        assert warm_store.misses == 0
+        assert warm_store.puts == 0
+        assert warm.store_executed == 0
+        assert warm.store_replayed == 8
+        assert (directory / "front.json").read_bytes() == front_bytes
+
+    def test_resume_without_manifest_fails_cleanly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no search manifest"):
+            resume_search(tmp_path / "nowhere")
+
+    def test_log_records_provenance(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        space = SearchSpace.create(
+            workloads=("xalan",),
+            configurations=("triage-lru",),
+            param_grid={"max_entries": (64, 4096)},
+        )
+        result = run_search(
+            space,
+            strategy="halving",
+            seed=7,
+            directory=tmp_path / "search",
+            store=ResultStore(tmp_path / "store"),
+            trace_overrides={"length": 1200},
+            screen_accesses=400,
+            confirm=1,
+        )
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "search" / "log.jsonl").read_text().splitlines()
+        ]
+        assert len(records) == len(result.evaluations)
+        for record in records:
+            assert record["strategy"] == "halving"
+            assert record["seed"] == 7
+            assert "rung" in record and "spec_digests" in record
+            assert isinstance(record["promoted"], bool)
+
+
+# ---------------------------------------------------------------------------
+# The CLI wiring
+# ---------------------------------------------------------------------------
+class TestExploreCli:
+    def test_describe_compiles_without_simulating(self, capsys):
+        assert main(["explore", "describe", "--set", "max_entries=64,4096"]) == 0
+        output = capsys.readouterr().out
+        assert "candidate(s)" in output
+        assert "rung 0" in output
+
+    def test_run_then_resume_replays_everything(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        base = [
+            "--dir", str(tmp_path / "search"),
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        code = main(
+            [
+                "explore", "run",
+                "--strategy", "halving",
+                "--configs", "triage-lru",
+                "--set", "max_entries=64,4096",
+                "--budget", "6",
+                "--trace-length", "1200",
+                "--screen-accesses", "400",
+                "--confirm", "1",
+                *base,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        assert "0 replayed from store" in output
+        assert main(["explore", "resume", *base]) == 0
+        resumed = capsys.readouterr().out
+        assert ", 0 executed" in resumed
+        assert "Pareto front" in resumed
+
+    def test_unknown_configuration_exits_2(self, capsys):
+        assert main(["explore", "describe", "--configs", "nope"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_stranded_parameter_exits_2(self, capsys):
+        assert main(["explore", "describe", "--set", "bogus=1"]) == 2
+        assert "match neither" in capsys.readouterr().err
+
+    def test_budget_of_zero_exits_2(self, capsys):
+        assert main(["explore", "describe", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "run", "--strategy", "anneal"])

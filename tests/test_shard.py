@@ -465,3 +465,41 @@ class TestShardedTraceReplay:
             )
         )
         assert sharded == sequential
+
+    def test_sampled_window_shards_match_sequential(self, tmp_path, monkeypatch):
+        """Sampler-derived traces (explore's screen windows) shard exactly.
+
+        Carves prefix, mid-stream and systematic samples out of a recorded
+        mmap-backed trace, saves them as first-class ``.rtrc`` workloads,
+        and checks sharded replay stays access-for-access identical to
+        sequential — the invariant ``repro explore`` relies on when it
+        screens candidates on sampled windows with ``--shards``.
+        """
+
+        from repro.traces.format import load_trace, save_trace
+        from repro.traces.recorder import record_workload
+        from repro.traces.samplers import (
+            sample_prefix,
+            sample_systematic,
+            sample_window,
+        )
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        path = record_workload("xalan", directory=tmp_path, overrides={"length": 3000})
+        source = load_trace(path)  # mmap-backed: samples slice memoryviews
+        samples = {
+            "xl_prefix": sample_prefix(source, 1200, name="xl_prefix"),
+            "xl_window": sample_window(source, 700, 1300, name="xl_window"),
+            "xl_sys": sample_systematic(source, period=3, block=2, name="xl_sys"),
+        }
+        for stem, sampled in samples.items():
+            save_trace(sampled, tmp_path / f"{stem}.rtrc")
+        for stem in samples:
+            workload = f"trace:{stem}"
+            sequential = asdict(runner(trace_overrides={}).run(workload, "triangel"))
+            sharded = asdict(
+                runner(trace_overrides={}, shards=4, shard_overlap="full").run(
+                    workload, "triangel"
+                )
+            )
+            assert sharded == sequential, stem

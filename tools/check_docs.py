@@ -27,6 +27,7 @@ from pathlib import Path
 DOC_FILES = (
     "README.md",
     "docs/architecture.md",
+    "docs/exploring.md",
     "docs/reproducing-figures.md",
     "docs/traces.md",
 )
