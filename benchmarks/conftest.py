@@ -31,6 +31,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.figures import main_matrix_specs
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import CACHE_DIR_ENV, ResultStore
 
@@ -49,8 +50,10 @@ def store() -> ResultStore:
 def runner(store) -> ExperimentRunner:
     """The shared full-scale experiment runner."""
 
+    # resolve_jobs validates REPRO_JOBS up front: a typo'd value fails the
+    # session with one clear line instead of a traceback mid-benchmark.
     runner = ExperimentRunner(
-        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        jobs=resolve_jobs(),
         store=store,
     )
     if os.environ.get("REPRO_PREWARM") == "1":

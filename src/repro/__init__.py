@@ -22,7 +22,11 @@ This package implements, from scratch, the systems described in
   reference engine and a fused, allocation-free columnar fast kernel —
   bit-identical by contract, benchmarked by ``repro bench``;
 * an **experiment harness** (:mod:`repro.experiments`) that regenerates every
-  figure and table of the paper's evaluation section.
+  figure and table of the paper's evaluation section;
+* a **service layer** (:mod:`repro.service`) — the scheduling core behind
+  both the one-shot CLI and the ``repro serve`` HTTP/JSON daemon, where
+  many concurrent clients share one warm result store — with a thin Python
+  client (:mod:`repro.client`).
 
 Quick start::
 
@@ -33,6 +37,7 @@ Quick start::
     print(result.rendered)
 """
 
+from repro.client import ServiceClient
 from repro.core import TriangelConfig, TriangelPrefetcher
 from repro.experiments import figures
 from repro.experiments.configs import available_configurations, build_prefetchers
@@ -55,6 +60,7 @@ from repro.traces import (
     sample_window,
     save_trace,
 )
+from repro.service.scheduler import Scheduler
 from repro.triage.triage import TriageConfig, TriagePrefetcher
 from repro.workloads.registry import available_workloads, generate_workload
 
@@ -77,6 +83,8 @@ __all__ = [
     "access_columns",
     "ExperimentRunner",
     "STUDIES",
+    "Scheduler",
+    "ServiceClient",
     "Study",
     "figures",
     "available_configurations",

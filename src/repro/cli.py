@@ -1,6 +1,6 @@
 """Command-line interface for the Triangel reproduction.
 
-Eight subcommands cover the common workflows without writing any Python:
+The subcommands cover the common workflows without writing any Python:
 
 ``list``
     Show the available workloads, prefetcher configurations (parameterised
@@ -53,10 +53,27 @@ Eight subcommands cover the common workflows without writing any Python:
     that the simulating subcommands read and write under ``.repro_cache/``.
     ``show`` breaks the entries down by record kind (plain single-core
     runs, parameterised runs such as the replacement study, and
-    multiprogram runs) and lists the latter two individually.
+    multiprogram runs) and lists the latter two individually;
+    ``show --json`` prints the same machine-readable statistics the
+    daemon's ``GET /store/stats`` endpoint serves.
+``serve``
+    Run the simulation service daemon (:mod:`repro.service`): a
+    long-running HTTP/JSON API over the shared result store, with a
+    priority job scheduler, per-client quotas and cooperative
+    cancellation.  Every client dedupes against the daemon's warm store,
+    so concurrent submissions of overlapping studies execute each unique
+    simulation at most once.
+``submit`` / ``status`` / ``result`` / ``cancel``
+    Talk to a running daemon (``--url``, or ``REPRO_SERVE_URL``):
+    ``submit`` a run/multiprogram/study/explore job — with the same axis
+    overrides ``study run`` takes — and optionally ``--wait`` for it;
+    ``status`` polls a job's state and progress events; ``result``
+    fetches the reduced tables plus the run manifest (spec digests,
+    code-version salt, store provenance); ``cancel`` stops a queued job.
 
 ``run``, ``figure`` and ``study run`` accept ``--jobs N`` to execute
-simulation matrices in N worker processes, ``--cache-dir`` to relocate
+simulation matrices in N worker processes (default: the ``REPRO_JOBS``
+environment variable, or 1), ``--cache-dir`` to relocate
 the result store (the ``REPRO_CACHE_DIR`` environment variable does the
 same), and ``--kernel reference|fast|fast-sharded`` to pick the execution
 kernel (the ``REPRO_KERNEL`` environment variable does the same; the
@@ -93,19 +110,28 @@ Examples::
     python -m repro run xalan --kernel reference --no-cache
     python -m repro bench
     python -m repro cache show
+    python -m repro cache show --json
     python -m repro cache clear
+    python -m repro serve --port 8642 --jobs 4
+    python -m repro submit study fig10 --workloads xalan --configs triangel --wait
+    python -m repro status job-1a2b3c4d5e6f
+    python -m repro result job-1a2b3c4d5e6f --json
+    python -m repro cancel job-1a2b3c4d5e6f
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.client import ServiceClient, ServiceError
 from repro.experiments import figures
 from repro.experiments.configs import configuration_signatures
+from repro.experiments.parallel import resolve_jobs, resolve_shards
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import ResultStore, default_store
 from repro.experiments.studies import STUDIES
@@ -477,6 +503,144 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--cache-dir", default=None, help="result-store directory (default: .repro_cache)"
     )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable statistics for `show` (the same payload the "
+        "serve daemon's /store/stats endpoint returns)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the simulation service daemon (HTTP/JSON API)"
+    )
+    serve_parser.add_argument(
+        "--host", default=None, help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, help="TCP port (default: 8642; 0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for submitted simulations "
+        "(default: $REPRO_JOBS, or 1)",
+    )
+    serve_parser.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        help="per-client cap on unresolved (not-yet-simulated) specs; "
+        "over-quota submissions are rejected with HTTP 429 (default: none)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, help="result-store directory (default: .repro_cache)"
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="serve without a persistent store"
+    )
+    serve_parser.add_argument(
+        "--kernel",
+        choices=("reference", "fast", "fast-sharded"),
+        default=None,
+        help="execution kernel for submitted simulations (default: fast)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url",
+            default=None,
+            help="daemon base URL (default: $REPRO_SERVE_URL, or "
+            "http://127.0.0.1:8642)",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="print the raw JSON response"
+        )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a job to a running repro serve daemon"
+    )
+    submit_parser.add_argument(
+        "kind",
+        choices=("run", "multiprogram", "study", "spec", "explore"),
+        help="what to submit (mirrors the daemon's request kinds)",
+    )
+    submit_parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="workload (run), study name (study), or configuration "
+        "(multiprogram, with --workloads)",
+    )
+    _add_client_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--client", default=None, help="client name for quotas and manifests"
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, help="scheduling priority (higher first)"
+    )
+    submit_parser.add_argument(
+        "--workloads", default=None, help="comma-separated workload list/override"
+    )
+    submit_parser.add_argument(
+        "--configs", default=None, help="comma-separated configuration list/override"
+    )
+    submit_parser.add_argument(
+        "--set",
+        action="append",
+        dest="sets",
+        default=None,
+        metavar="KEY=VALUE",
+        help="axis/parameter override, exactly as `study run --set`; repeatable",
+    )
+    submit_parser.add_argument(
+        "--trace-length", type=int, default=None, help="override every trace's length"
+    )
+    submit_parser.add_argument(
+        "--max-accesses", type=int, default=None, help="cap the sampled accesses per run"
+    )
+    submit_parser.add_argument(
+        "--file",
+        default=None,
+        help="read the request body from a JSON file ('-' for stdin); "
+        "command-line fields override its keys",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up waiting after this many seconds (with --wait)",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status", help="show a submitted job's state and progress events"
+    )
+    status_parser.add_argument("job", help="job id (from `repro submit`)")
+    status_parser.add_argument(
+        "--after",
+        type=int,
+        default=None,
+        help="only events with seq greater than this (streaming polls)",
+    )
+    _add_client_arguments(status_parser)
+
+    result_parser = subparsers.add_parser(
+        "result", help="fetch a completed job's result and run manifest"
+    )
+    result_parser.add_argument("job", help="job id (from `repro submit`)")
+    _add_client_arguments(result_parser)
+
+    cancel_parser = subparsers.add_parser(
+        "cancel", help="cooperatively cancel a submitted job"
+    )
+    cancel_parser.add_argument("job", help="job id (from `repro submit`)")
+    _add_client_arguments(cancel_parser)
     return parser
 
 
@@ -484,8 +648,9 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="worker processes for simulation matrices (default: 1, in-process)",
+        default=None,
+        help="worker processes for simulation matrices "
+        "(default: $REPRO_JOBS, or 1, in-process)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -543,22 +708,13 @@ def _trace_overrides(args: argparse.Namespace) -> dict:
 def _resolve_shards(args: argparse.Namespace) -> int:
     """The shard count for this invocation: flag, then environment, then 1."""
 
-    from repro.sim.shard import SHARDS_ENV
+    return resolve_shards(getattr(args, "shards", None))
 
-    shards = getattr(args, "shards", None)
-    if shards is None:
-        raw = os.environ.get(SHARDS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            shards = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{SHARDS_ENV}={raw!r}: shard count must be an integer"
-            ) from None
-    if shards < 1:
-        raise ValueError(f"--shards must be at least 1, got {shards}")
-    return shards
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """The worker count for this invocation: flag, then environment, then 1."""
+
+    return resolve_jobs(getattr(args, "jobs", None))
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -569,7 +725,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         trace_overrides=overrides,
         warmup_fraction=getattr(args, "warmup_fraction", 0.4),
         use_cache=not getattr(args, "no_cache", False),
-        jobs=getattr(args, "jobs", 1),
+        jobs=_resolve_jobs(args),
         store=_store_for(args),
         kernel=getattr(args, "kernel", None),
         shards=_resolve_shards(args),
@@ -708,7 +864,7 @@ def _command_study(args: argparse.Namespace) -> str | None:
             max_accesses=args.max_accesses,
             trace_overrides=_trace_overrides(args),
             use_cache=not args.no_cache,
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             store=store,
             kernel=args.kernel,
             shards=_resolve_shards(args),
@@ -960,7 +1116,7 @@ def _command_explore(args: argparse.Namespace) -> str:
             directory,
             store=_store_for(args),
             use_cache=not args.no_cache,
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             kernel=args.kernel,
             shards=_resolve_shards(args),
             shard_overlap=args.shard_overlap or "warmup",
@@ -1003,7 +1159,7 @@ def _command_explore(args: argparse.Namespace) -> str:
         trace_overrides=_trace_overrides(args),
         store=_store_for(args),
         use_cache=not args.no_cache,
-        jobs=args.jobs,
+        jobs=_resolve_jobs(args),
         kernel=args.kernel,
         shards=_resolve_shards(args),
         shard_overlap=args.shard_overlap or "warmup",
@@ -1044,10 +1200,18 @@ def _command_bench(args: argparse.Namespace) -> str:
 def _command_cache(args: argparse.Namespace) -> str:
     """Implement ``repro cache show|clear``: inspect or empty the store."""
 
+    from repro.experiments.store import store_stats_payload
+
     store = _store_for(args)
     if args.action == "clear":
+        if args.json:
+            raise ValueError("--json applies to `cache show`, not `cache clear`")
         dropped = store.clear()
         return f"cleared {dropped} cached result(s) from {store.directory}"
+    if args.json:
+        # The exact payload the serve daemon's GET /store/stats returns —
+        # one serializer (store_stats_payload) feeds both.
+        return json.dumps(store_stats_payload(store), indent=2, sort_keys=True)
     info = store.stats()
     size = store.results_path.stat().st_size if store.results_path.exists() else 0
     lines = [
@@ -1068,6 +1232,197 @@ def _command_cache(args: argparse.Namespace) -> str:
             for label in sorted(labels.get(kind, [])):
                 lines.append(f"    {label}")
     return "\n".join(lines)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Implement ``repro serve``: run the service daemon until SIGTERM."""
+
+    from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    if args.quota is not None and args.quota < 1:
+        raise ValueError(f"--quota must be at least 1, got {args.quota}")
+    store = None if args.no_cache else _store_for(args)
+    return serve(
+        store,
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        jobs=_resolve_jobs(args),
+        kernel=args.kernel,
+        quota=args.quota,
+        verbose=args.verbose,
+    )
+
+
+def _client_for(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(args.url, client=getattr(args, "client", None))
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the ``POST /jobs`` body from the ``repro submit`` flags.
+
+    ``--file`` supplies a base JSON body (the round-trip path: a fetched
+    manifest's ``specs`` resubmit verbatim under ``kind=spec``); explicit
+    flags override its keys.
+    """
+
+    payload: dict = {}
+    if args.file:
+        raw = sys.stdin.read() if args.file == "-" else Path(args.file).read_text()
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"--file: not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("--file: the request body must be a JSON object")
+    payload["kind"] = args.kind
+    assignments = parse_assignments(args.sets)
+    if assignments:
+        payload["set"] = {**(payload.get("set") or {}), **assignments}
+    workloads = _split_names(args.workloads, "--workloads")
+    configurations = _split_names(args.configs, "--configs")
+    if args.kind == "run":
+        if args.name:
+            payload["workload"] = args.name
+        if not payload.get("workload"):
+            raise ValueError("repro submit run: give a workload name")
+        if configurations:
+            payload["configurations"] = configurations
+    elif args.kind == "study":
+        if args.name:
+            payload["name"] = args.name
+        if not payload.get("name"):
+            raise ValueError("repro submit study: give a study name")
+        if workloads:
+            payload["workloads"] = workloads
+        if configurations:
+            payload["configs"] = configurations
+    elif args.kind == "multiprogram":
+        if args.name:
+            payload["configuration"] = args.name
+        if workloads:
+            payload["workloads"] = workloads
+        if not payload.get("configuration") or not payload.get("workloads"):
+            raise ValueError(
+                "repro submit multiprogram: give a configuration name and "
+                "--workloads W1,W2"
+            )
+    elif args.kind == "explore":
+        if workloads:
+            payload["workloads"] = workloads
+        if configurations:
+            payload["configs"] = configurations
+    elif args.kind == "spec" and not payload.get("specs"):
+        raise ValueError(
+            "repro submit spec: provide the specs via --file (a JSON body "
+            "with a 'specs' list, e.g. a fetched manifest's specs)"
+        )
+    if args.trace_length is not None:
+        payload["trace_length"] = args.trace_length
+    if args.max_accesses is not None:
+        payload["max_accesses"] = args.max_accesses
+    if args.priority:
+        payload["priority"] = args.priority
+    return payload
+
+
+def _render_job_result(result: dict) -> str:
+    """Human-readable form of a ``GET /jobs/<id>/result`` response."""
+
+    payload = result.get("result") or {}
+    manifest = result.get("manifest") or {}
+    if payload.get("rendered"):
+        body = payload["rendered"]
+    elif payload.get("description"):
+        body = payload["description"]
+    else:
+        body = json.dumps(payload, indent=2, sort_keys=True)
+    provenance = manifest.get("store") or {}
+    summary = (
+        f"store: {provenance.get('hits', 0)} hit(s), "
+        f"{provenance.get('executed', 0)} executed, "
+        f"{provenance.get('shared', 0)} shared"
+    )
+    return f"{body}\n{summary}"
+
+
+def _render_job_snapshot(snapshot: dict) -> str:
+    """Human-readable form of a job status snapshot."""
+
+    specs = snapshot.get("specs") or {}
+    lines = [
+        f"job {snapshot['id']}: {snapshot['state']} "
+        f"({snapshot['kind']}: {snapshot['label']})",
+        f"  specs: {specs.get('resolved', 0)}/{specs.get('total', 0)} resolved "
+        f"(store {specs.get('store', 0)}, executed {specs.get('executed', 0)}, "
+        f"shared {specs.get('shared', 0)})",
+    ]
+    if snapshot.get("error"):
+        lines.append(f"  error: {snapshot['error']}")
+    for event in snapshot.get("events") or []:
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("seq", "time", "event")
+        )
+        lines.append(
+            f"  [{event['seq']}] {event['event']}" + (f": {detail}" if detail else "")
+        )
+    return "\n".join(lines)
+
+
+def _command_submit(args: argparse.Namespace) -> str:
+    """Implement ``repro submit``: build the request, post it, maybe wait."""
+
+    client = _client_for(args)
+    job = client.submit(_submit_payload(args))
+    if not args.wait:
+        if args.json:
+            return json.dumps(job, indent=2, sort_keys=True)
+        return (
+            f"submitted {job['id']} ({job['kind']}: {job['label']}) "
+            f"to {client.url}\npoll with: repro status {job['id']}"
+        )
+    try:
+        snapshot = client.wait(job["id"], timeout=args.timeout)
+    except TimeoutError as error:
+        raise ValueError(str(error)) from None
+    if snapshot["state"] != "completed":
+        suffix = f": {snapshot['error']}" if snapshot.get("error") else ""
+        raise ValueError(f"job {job['id']} {snapshot['state']}{suffix}")
+    result = client.result(job["id"])
+    if args.json:
+        return json.dumps(result, indent=2, sort_keys=True)
+    return _render_job_result(result)
+
+
+def _command_status(args: argparse.Namespace) -> str:
+    """Implement ``repro status``: one job's state and progress events."""
+
+    snapshot = _client_for(args).status(args.job, after=args.after)
+    if args.json:
+        return json.dumps(snapshot, indent=2, sort_keys=True)
+    return _render_job_snapshot(snapshot)
+
+
+def _command_result(args: argparse.Namespace) -> str:
+    """Implement ``repro result``: a completed job's payload + manifest."""
+
+    result = _client_for(args).result(args.job)
+    if args.json:
+        return json.dumps(result, indent=2, sort_keys=True)
+    return _render_job_result(result)
+
+
+def _command_cancel(args: argparse.Namespace) -> str:
+    """Implement ``repro cancel``: cooperative cancellation by job id."""
+
+    outcome = _client_for(args).cancel(args.job)
+    if args.json:
+        return json.dumps(outcome, indent=2, sort_keys=True)
+    if outcome.get("cancelled"):
+        return f"cancelled {args.job}"
+    state = (outcome.get("job") or {}).get("state", "unknown")
+    return f"job {args.job} was not cancellable (already {state})"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1102,16 +1457,27 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 1
         elif args.command == "cache":
             print(_command_cache(args))
+        elif args.command == "serve":
+            return _command_serve(args)
+        elif args.command == "submit":
+            print(_command_submit(args))
+        elif args.command == "status":
+            print(_command_status(args))
+        elif args.command == "result":
+            print(_command_result(args))
+        elif args.command == "cancel":
+            print(_command_cancel(args))
     except BrokenPipeError:  # e.g. `repro cache show | head`
         # The reader went away mid-write.  Point stdout at devnull so the
         # interpreter's shutdown flush doesn't re-raise and dirty the exit
         # status with "Exception ignored" noise.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    except (ValueError, FileNotFoundError) as error:
+    except (ValueError, FileNotFoundError, ServiceError) as error:
         # Validation errors (unknown names, inapplicable overrides, bad
-        # flags, missing/corrupt trace files) are user input problems:
-        # deliver the message, not a traceback.
+        # flags, missing/corrupt trace files) and service-call failures
+        # (daemon unreachable, rejected submission, unknown job) are user
+        # input problems: deliver the message, not a traceback.
         print(f"repro: {error}", file=sys.stderr)
         return 2
     return 0

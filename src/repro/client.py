@@ -1,0 +1,164 @@
+"""A thin Python client for the ``repro serve`` HTTP/JSON API.
+
+Everything the daemon exposes, as one small stdlib-only class::
+
+    from repro.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit({"kind": "study", "name": "fig10"})
+    done = client.wait(job["id"])
+    result = client.result(job["id"])          # reduced tables + manifest
+
+The ``repro submit|status|result|cancel`` CLI verbs are built on this
+class, so scripts and the command line see identical payloads.  The daemon
+URL defaults to the ``REPRO_SERVE_URL`` environment variable, falling back
+to the daemon's default bind address.
+
+Errors surface as :class:`ServiceError`, carrying the HTTP status and the
+decoded error payload — a 400 is a validation problem in the submitted
+request (the server's message says what), a 404 an unknown job, a 409 a
+result fetched before completion, and a 429 the per-client quota.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Mapping
+
+#: Environment variable naming the daemon to talk to.
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+
+#: Where the daemon listens when started with defaults.
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+#: Job states after which polling can stop.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the daemon.
+
+    ``status`` is the HTTP status code (0 when the daemon was unreachable);
+    ``payload`` the decoded JSON error body, whose ``error`` key carries
+    the server's message.
+    """
+
+    def __init__(self, status: int, payload: Mapping) -> None:
+        self.status = status
+        self.payload = dict(payload)
+        message = self.payload.get("error") or f"HTTP {status}"
+        super().__init__(message if status == 0 else f"HTTP {status}: {message}")
+
+
+def service_url(url: str | None = None) -> str:
+    """The daemon URL to use: explicit, then ``REPRO_SERVE_URL``, then default."""
+
+    return (url or os.environ.get(SERVE_URL_ENV) or DEFAULT_URL).rstrip("/")
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon (see module docs for a tour).
+
+    ``client`` names this client for the daemon's per-client quotas and the
+    manifests' provenance; it travels as the ``X-Repro-Client`` header.
+    """
+
+    def __init__(
+        self,
+        url: str | None = None,
+        client: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.url = service_url(url)
+        self.client = client
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, method: str, path: str, body: Mapping | None = None) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if self.client:
+            headers["X-Repro-Client"] = self.client
+        request = urllib.request.Request(
+            self.url + path,
+            data=json.dumps(body).encode() if body is not None else None,
+            headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode(errors="replace")}
+            raise ServiceError(error.code, payload) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, {"error": f"cannot reach {self.url}: {error.reason}"}
+            ) from None
+
+    # -- the API -------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Daemon liveness: status, code version, scheduler + store counters."""
+
+        return self._request("GET", "/healthz")
+
+    def store_stats(self) -> dict:
+        """The shared store's statistics (the ``cache show --json`` shape)."""
+
+        return self._request("GET", "/store/stats")
+
+    def submit(self, request: Mapping) -> dict:
+        """Submit one job (see :mod:`repro.service.requests` for the kinds).
+
+        Returns the accepted job's snapshot; ``snapshot["id"]`` is what
+        every other call takes.
+        """
+
+        return self._request("POST", "/jobs", dict(request))
+
+    def jobs(self) -> list[dict]:
+        """Snapshots of every job the daemon knows (without event logs)."""
+
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str, after: int | None = None) -> dict:
+        """One job's snapshot; ``after`` streams only events with greater seq."""
+
+        query = f"?after={after}" if after is not None else ""
+        return self._request("GET", f"/jobs/{job_id}{query}")
+
+    def result(self, job_id: str) -> dict:
+        """A completed job's reduced result payload plus its run manifest."""
+
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cooperatively cancel a job; returns ``{cancelled, job}``."""
+
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the snapshot.
+
+        Raises ``TimeoutError`` if ``timeout`` seconds pass first.
+        """
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in TERMINAL_STATES:
+                return snapshot
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -53,9 +53,14 @@ from repro.experiments.jobs import (
     execute_multiprogram_spec,
     execute_spec,
 )
-from repro.experiments.parallel import BatchExecutor
+from repro.experiments.parallel import BatchExecutor, resolve_jobs, resolve_shards
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.store import ResultStore, default_store, set_default_store
+from repro.experiments.store import (
+    ResultStore,
+    default_store,
+    set_default_store,
+    store_stats_payload,
+)
 from repro.experiments.study import FigureResult, Reducer, Study, StudyRegistry
 from repro.experiments.studies import STUDIES
 from repro.experiments import figures
@@ -85,6 +90,9 @@ __all__ = [
     "execute",
     "execute_multiprogram_spec",
     "execute_spec",
+    "resolve_jobs",
+    "resolve_shards",
     "set_default_store",
+    "store_stats_payload",
     "figures",
 ]

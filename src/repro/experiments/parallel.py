@@ -1,42 +1,99 @@
-"""Batch execution of run specs: dedupe, check the store, fan out, write back.
+"""Batch execution of run specs: the one-shot front on the scheduling core.
 
 The :class:`BatchExecutor` is the middle layer between the experiment runner
 (and the figure harness) and the simulator: callers declare every simulation
 they need — single-core (workload × configuration) cells as
 :class:`~repro.experiments.jobs.RunSpec` and multiprogrammed pairs as
 :class:`~repro.experiments.jobs.MultiProgramSpec` — and submit the whole
-batch, freely mixed, at once.  The executor
+batch, freely mixed, at once.
 
-1. deduplicates the batch (figures share most of their cells),
-2. satisfies what it can from the :class:`~repro.experiments.store.
-   ResultStore` (which round-trips both result kinds),
-3. runs the misses — in-process when ``jobs == 1``, otherwise on a
-   ``ProcessPoolExecutor`` whose workers rebuild everything from the pickled
-   spec (see :func:`~repro.experiments.jobs.execute`, which dispatches on
-   the spec kind); a sharded :class:`RunSpec` (``shards > 1``) fans out as
-   one pool task per trace window, scheduled alongside every other miss,
-   and its outcomes are merged in shard order as they arrive, and
-4. writes fresh results back to the store so later batches, processes and
-   benchmark sessions skip them.
+Since the service layer landed, the executor no longer owns a scheduling
+implementation of its own: each ``run()`` is one job on a private
+:class:`~repro.service.scheduler.Scheduler`, so the CLI's one-shot path and
+the ``repro serve`` daemon exercise the same core.  The semantics are
+unchanged:
+
+1. the batch is deduplicated (figures share most of their cells),
+2. what the :class:`~repro.experiments.store.ResultStore` holds replays,
+3. misses run — in the submitting flow when ``jobs == 1``, otherwise on a
+   process-pool backend whose workers rebuild everything from the pickled
+   spec (see :func:`~repro.experiments.jobs.execute`); a sharded
+   :class:`RunSpec` (``shards > 1``) fans out as one task per trace window,
+   merged in shard order, and
+4. fresh results persist the moment they complete, so later batches,
+   processes and benchmark sessions skip them.
 
 Results are deterministic regardless of ``jobs``: every simulation is
 independent and seeded, so where a spec executes cannot change its result.
+
+This module also owns :func:`resolve_jobs` and :func:`resolve_shards` — the
+single validation point for the ``REPRO_JOBS``/``REPRO_SHARDS`` environment
+overrides, so a typo'd value renders as a one-line CLI error instead of a
+traceback from deep inside the executor.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import os
 from dataclasses import dataclass
-from functools import partial
 from typing import Sequence
 
-from repro.experiments.jobs import (
-    RunSpec,
-    execute,
-    execute_spec_shard,
-    shard_plan_for_spec,
-)
+from repro.experiments.jobs import execute, execute_spec_shard  # noqa: F401
 from repro.experiments.store import Result, ResultStore, Spec
+
+# ``execute``/``execute_spec_shard`` are re-exported on purpose: this module
+# is the scheduling layer's patch point for counting or faking executions
+# (the scheduler resolves both through this namespace when it builds tasks).
+
+#: Environment variable supplying a default worker count for entry points
+#: that take one (the CLI's ``--jobs``, the benchmark harness).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def _positive_count(value, what: str) -> int:
+    """Validate one worker/shard count (already int-typed or int-like)."""
+
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what}: expected an integer, got {value!r}") from None
+    if count < 1:
+        raise ValueError(f"{what}: must be at least 1, got {count}")
+    return count
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The worker count for an invocation: explicit value, then env, then 1.
+
+    The one place ``REPRO_JOBS`` is read, so a malformed value fails here
+    with a ``ValueError`` naming the variable (the CLI renders that as a
+    one-line exit-2 error) rather than as a traceback once a pool spawns.
+    """
+
+    if jobs is not None:
+        return _positive_count(jobs, "--jobs")
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    return _positive_count(raw, f"{JOBS_ENV}={raw!r}")
+
+
+def resolve_shards(shards: int | None = None) -> int:
+    """The shard count for an invocation: explicit value, then env, then 1.
+
+    The ``REPRO_SHARDS`` analogue of :func:`resolve_jobs`, lifted out of the
+    CLI so the benchmark harness and programmatic callers get the same
+    one-line validation.
+    """
+
+    from repro.sim.shard import SHARDS_ENV
+
+    if shards is not None:
+        return _positive_count(shards, "--shards")
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    return _positive_count(raw, f"{SHARDS_ENV}={raw!r}")
 
 
 @dataclass
@@ -44,12 +101,12 @@ class BatchExecutor:
     """Runs batches of specs against an optional store, optionally in parallel.
 
     ``store=None`` disables persistence (every spec is executed); ``jobs``
-    caps the worker processes — ``1`` keeps everything in-process, which is
-    also the fallback when a batch has a single miss (spawning a pool for
-    one job costs more than it saves).  ``kernel`` selects the execution
-    kernel for every miss (``None`` resolves to the fast kernel, or the
-    ``REPRO_KERNEL`` environment override); it travels to pool workers with
-    the spec, and never affects results or store keys — both kernels are
+    caps the worker processes — ``1`` keeps everything in-process, and the
+    pool backend spawns workers lazily, so a fully store-satisfied batch
+    never pays for processes.  ``kernel`` selects the execution kernel for
+    every miss (``None`` resolves to the fast kernel, or the
+    ``REPRO_KERNEL`` environment override); it travels to workers with the
+    spec, and never affects results or store keys — the kernels are
     bit-identical.
     """
 
@@ -63,81 +120,13 @@ class BatchExecutor:
         ``specs`` may mix :class:`~repro.experiments.jobs.RunSpec` and
         :class:`~repro.experiments.jobs.MultiProgramSpec` entries; each maps
         to its own result type (:class:`~repro.sim.stats.SimulationStats`
-        and :class:`~repro.sim.multiprogram.MultiProgramResult`).
+        and :class:`~repro.sim.multiprogram.MultiProgramResult`).  A failing
+        spec re-raises its original exception.
         """
 
-        unique = list(dict.fromkeys(specs))
-        results: dict[Spec, Result] = {}
-        misses: list[Spec] = []
-        for spec in unique:
-            cached = self.store.get(spec) if self.store is not None else None
-            if cached is not None:
-                results[spec] = cached
-            else:
-                misses.append(spec)
+        from repro.service.scheduler import Scheduler
 
-        # Results are persisted as they arrive, so an interrupt or a failing
-        # cell loses only the work still in flight, never completed runs.
-        def complete(spec: Spec, result: Result) -> None:
-            """Record one finished run and persist it immediately."""
-
-            results[spec] = result
-            if self.store is not None:
-                self.store.put(spec, result)
-
-        run_one = partial(execute, kernel=self.kernel)
-
-        # A sharded RunSpec is one store entry but many units of pool work:
-        # when a pool is in play, its plan's windows become sibling tasks so
-        # the shards of one spec run alongside other specs' cells instead of
-        # serialising behind them.  Serial execution leaves the spec whole —
-        # execute_spec replays the same windows in-process and merges them
-        # the same way, so both paths return byte-identical results.
-        tasks: list[tuple[Spec, int | None]] = []
-        shard_totals: dict[Spec, int] = {}
-        for spec in misses:
-            expanded = False
-            if self.jobs > 1 and isinstance(spec, RunSpec) and spec.shards > 1:
-                plan = shard_plan_for_spec(spec)
-                if plan.shard_count > 1:
-                    shard_totals[spec] = plan.shard_count
-                    tasks.extend((spec, index) for index in range(plan.shard_count))
-                    expanded = True
-            if not expanded:
-                tasks.append((spec, None))
-
-        if self.jobs > 1 and len(tasks) > 1:
-            from repro.sim.shard import merge_shard_outcomes
-
-            partial_outcomes: dict[Spec, dict[int, object]] = {}
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for spec, index in tasks:
-                    if index is None:
-                        futures[pool.submit(run_one, spec)] = (spec, None)
-                    else:
-                        futures[
-                            pool.submit(execute_spec_shard, spec, index, self.kernel)
-                        ] = (spec, index)
-                for future in as_completed(futures):
-                    spec, index = futures[future]
-                    if index is None:
-                        complete(spec, future.result())
-                        continue
-                    shards = partial_outcomes.setdefault(spec, {})
-                    shards[index] = future.result()
-                    if len(shards) == shard_totals[spec]:
-                        # Merge strictly in shard order: the merge is
-                        # order-sensitive (endpoint clocks come from the
-                        # first and last windows), and arrival order is not.
-                        complete(
-                            spec,
-                            merge_shard_outcomes(
-                                [shards[i] for i in range(len(shards))]
-                            ),
-                        )
-        else:
-            for spec, _ in tasks:
-                complete(spec, run_one(spec))
-        return results
+        with Scheduler(
+            store=self.store, jobs=resolve_jobs(self.jobs), kernel=self.kernel
+        ) as scheduler:
+            return scheduler.run(specs)

@@ -20,11 +20,15 @@ can be shared freely between processes, benchmark sessions and CLI
 invocations: a stale entry can never be replayed, it simply stops being
 found.
 
-Appends of single JSON lines are atomic enough for the way the store is
-written (the batch executor writes results from the parent process only), and
-on load the *last* record for a key wins, so concurrent benchmark sessions
-sharing one directory degrade to harmless duplicate work rather than
-corruption.
+Concurrent writers sharing one directory (parallel benchmark sessions, the
+``repro serve`` daemon next to one-shot CLI runs) are safe: each append
+takes an ``fcntl`` advisory lock on the JSONL file, so records from
+different processes can never interleave mid-line — without the lock, a
+record larger than the kernel's atomic-append window (multiprogram payloads
+easily are) could tear.  On platforms without ``fcntl`` the lock degrades
+to a no-op and the load path's torn-line skip remains the backstop.  On
+load the *last* record for a key wins, so concurrent sessions degrade to
+harmless duplicate work rather than corruption.
 """
 
 from __future__ import annotations
@@ -33,6 +37,11 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:  # pragma: no cover - import-time platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.experiments.jobs import MultiProgramSpec, RunSpec, code_version
 from repro.sim.multiprogram import MultiProgramResult
@@ -205,6 +214,12 @@ class ResultStore:
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             with self.results_path.open("a", encoding="utf-8") as handle:
+                if fcntl is not None:
+                    # Exclusive advisory lock for the duration of the write:
+                    # appends from concurrent processes serialise instead of
+                    # interleaving partial lines.  Released by close() even
+                    # if the write raises.
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
                 handle.flush()
         except OSError:
@@ -318,6 +333,30 @@ class ResultStore:
             entries=len(self),
             path=str(self.directory),
         )
+
+
+def store_stats_payload(store: ResultStore) -> dict:
+    """One store's statistics as a JSON-safe dictionary.
+
+    The *single* machine-readable serialisation of a store: both ``repro
+    cache show --json`` and the daemon's ``GET /store/stats`` return exactly
+    this, so scripts never have to reconcile two shapes.  Carries the
+    instance traffic counters (hits/misses/puts), the on-disk footprint,
+    the per-kind entry breakdown, and the code version the entries are
+    keyed under.
+    """
+
+    info = store.stats()
+    try:
+        size = store.results_path.stat().st_size
+    except OSError:
+        size = 0
+    return {
+        **info.as_dict(),
+        "size_bytes": size,
+        "kinds": store.kind_summary(),
+        "code_version": code_version(),
+    }
 
 
 # ---------------------------------------------------------------------------

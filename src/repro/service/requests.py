@@ -1,0 +1,348 @@
+"""Compiling HTTP job payloads into spec batches plus a reduce step.
+
+``POST /jobs`` bodies are JSON dictionaries with a ``kind`` discriminator.
+:func:`compile_request` validates one and returns a :class:`CompiledRequest`
+holding
+
+* the deduplicated list of specs the scheduler should resolve,
+* a ``finalize`` callable that reduces the job's resolved results into the
+  JSON payload ``GET /jobs/<id>/result`` returns, and
+* the normalised request echoed into the job's manifest.
+
+Four request kinds mirror the CLI's simulating surfaces:
+
+``run``
+    One workload under one or more configurations (``repro run``): each
+    configuration compiles to a :class:`~repro.experiments.jobs.RunSpec`;
+    the result maps configuration → raw statistics payload.
+``multiprogram``
+    One workload tuple under one configuration (figure 16's shape): a
+    single :class:`~repro.experiments.jobs.MultiProgramSpec`.
+``study``
+    A registered study by name with the same axis overrides the CLI takes
+    (``workloads``/``configs``/``set``); compiles through
+    :meth:`~repro.experiments.study.Study.compile` and reduces to the
+    rendered figure table.
+``spec``
+    Canonical spec dictionaries verbatim (the manifest's own ``spec``
+    entries) — the round-trip path: a manifest fetched from one daemon can
+    be resubmitted to another and deduped against its store.
+
+An ``explore`` kind compiles a design-space search *description* (the
+``repro explore describe`` plan — candidates, rungs, budget) without
+simulating: it carries no specs, so the job completes instantly.
+
+Every validation problem raises ``ValueError`` with a user-renderable
+message; the HTTP layer maps those to ``400`` responses, exactly as the
+CLI maps them to exit code 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, TYPE_CHECKING
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore, Spec, result_to_record
+from repro.experiments.studies import STUDIES
+from repro.sim.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.scheduler import Job
+
+#: Request kinds :func:`compile_request` understands.
+REQUEST_KINDS = ("run", "multiprogram", "study", "spec", "explore")
+
+
+@dataclass
+class CompiledRequest:
+    """A validated job request: specs to resolve + how to reduce them."""
+
+    kind: str
+    label: str
+    specs: list = field(default_factory=list)
+    request: dict = field(default_factory=dict)
+    #: reduces the completed job's results to the JSON result payload; runs
+    #: once, after every spec resolved, outside the scheduler lock.
+    finalize: Callable[["Job"], dict] | None = None
+
+
+def _require(payload: Mapping, key: str, kind: str) -> object:
+    value = payload.get(key)
+    if value is None:
+        raise ValueError(f"{kind!r} request requires a {key!r} field")
+    return value
+
+
+def _names(value, field_name: str) -> list[str]:
+    """A non-empty list of names from a JSON list (or comma string)."""
+
+    if isinstance(value, str):
+        value = [part.strip() for part in value.split(",") if part.strip()]
+    if not isinstance(value, list) or not value:
+        raise ValueError(f"{field_name}: expected a non-empty list of names")
+    bad = [item for item in value if not isinstance(item, str)]
+    if bad:
+        raise ValueError(f"{field_name}: names must be strings, got {bad}")
+    return value
+
+
+def _trace_overrides(payload: Mapping) -> dict:
+    """Trace-generation overrides from a request (same rule as the CLI)."""
+
+    length = payload.get("trace_length")
+    if length is None:
+        return {}
+    if not isinstance(length, int) or length <= 0:
+        raise ValueError("trace_length must be a positive integer")
+    return {"length": length}
+
+
+def _runner_for(payload: Mapping, store: ResultStore | None) -> ExperimentRunner:
+    """The runner a ``run``/``multiprogram`` request's specs compile under."""
+
+    return ExperimentRunner(
+        system=SystemConfig.scaled(float(payload.get("scale", 1.0))),
+        max_accesses=payload.get("max_accesses"),
+        trace_overrides=_trace_overrides(payload),
+        warmup_fraction=float(payload.get("warmup_fraction", 0.4)),
+        store=store,
+        shards=int(payload.get("shards", 1)),
+        shard_overlap=payload.get("shard_overlap") or "warmup",
+    )
+
+
+def _assignments(payload: Mapping) -> dict[str, str]:
+    """The ``set`` overrides as the raw strings the study layer coerces.
+
+    JSON clients naturally send typed values (``{"scale": 0.5}``); the
+    study override machinery applies its own per-axis coercion to strings,
+    so everything is stringified first — ``None`` spelling the CLI's
+    ``"none"``.
+    """
+
+    assignments = payload.get("set") or {}
+    if not isinstance(assignments, Mapping):
+        raise ValueError("'set' must be a mapping of axis/parameter overrides")
+    return {
+        str(key): "none" if value is None else str(value)
+        for key, value in assignments.items()
+    }
+
+
+# -- per-kind compilers -------------------------------------------------------
+def _compile_run(payload: Mapping, store: ResultStore | None) -> CompiledRequest:
+    from repro.experiments.store import stats_to_payload
+
+    workload = _require(payload, "workload", "run")
+    configurations = _names(
+        payload.get("configurations") or ["triage", "triangel"], "configurations"
+    )
+    runner = _runner_for(payload, store)
+    params = payload.get("config_params") or None
+    from repro.experiments.configs import CONFIGS
+
+    cells = [
+        (
+            configuration,
+            runner.spec_for(
+                workload,
+                configuration,
+                params if CONFIGS.takes_params(configuration) else None,
+            ),
+        )
+        for configuration in configurations
+    ]
+
+    def finalize(job: "Job") -> dict:
+        return {
+            "workload": workload,
+            "results": {
+                configuration: stats_to_payload(job.results[spec])
+                for configuration, spec in cells
+            },
+        }
+
+    return CompiledRequest(
+        kind="run",
+        label=f"run {workload} × {len(cells)} configuration(s)",
+        specs=[spec for _, spec in cells],
+        request=dict(payload),
+        finalize=finalize,
+    )
+
+
+def _compile_multiprogram(
+    payload: Mapping, store: ResultStore | None
+) -> CompiledRequest:
+    workloads = _names(_require(payload, "workloads", "multiprogram"), "workloads")
+    configuration = _require(payload, "configuration", "multiprogram")
+    runner = _runner_for(payload, store)
+    spec = runner.multiprogram_spec_for(
+        workloads,
+        configuration,
+        payload.get("max_accesses_per_core"),
+        share_metadata=bool(payload.get("share_metadata", True)),
+        config_params=payload.get("config_params") or None,
+    )
+
+    def finalize(job: "Job") -> dict:
+        return {"result": job.results[spec].as_payload()}
+
+    return CompiledRequest(
+        kind="multiprogram",
+        label=f"multiprogram {' + '.join(workloads)} × {configuration}",
+        specs=[spec],
+        request=dict(payload),
+        finalize=finalize,
+    )
+
+
+def _compile_study(payload: Mapping, store: ResultStore | None) -> CompiledRequest:
+    name = _require(payload, "name", "study")
+    study = STUDIES.get(name).overridden(
+        workloads=_names(payload["workloads"], "workloads")
+        if payload.get("workloads") is not None
+        else None,
+        configurations=_names(payload["configs"], "configs")
+        if payload.get("configs") is not None
+        else None,
+        assignments=_assignments(payload),
+    )
+    max_accesses = payload.get("max_accesses")
+    if study.pairs and max_accesses is not None:
+        # Same rule as the CLI: multiprogram specs cap per-core accesses.
+        raise ValueError(
+            f"study {name!r} runs multiprogrammed; max_accesses does not "
+            f"apply — use set.max_accesses_per_core"
+        )
+    runner = study.make_runner(
+        max_accesses=max_accesses,
+        trace_overrides=_trace_overrides(payload),
+        store=store,
+        shards=int(payload.get("shards", 1)),
+        shard_overlap=payload.get("shard_overlap") or "warmup",
+    )
+    specs = study.compile(runner)
+
+    def finalize(job: "Job") -> dict:
+        # Every spec is resolved and persisted by now, so the reducer's
+        # second pass replays entirely from the (serial, in-process) store.
+        result = study.run(runner)
+        return {
+            "figure": result.figure,
+            "title": result.title,
+            "table": result.table,
+            "columns": result.columns,
+            "rendered": result.rendered,
+            "notes": result.notes,
+        }
+
+    return CompiledRequest(
+        kind="study",
+        label=f"study {name} ({len(specs)} spec(s))",
+        specs=specs,
+        request=dict(payload),
+        finalize=finalize,
+    )
+
+
+def _compile_spec(payload: Mapping, store: ResultStore | None) -> CompiledRequest:
+    from repro.service.manifest import spec_from_payload
+
+    entries = payload.get("specs")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("'spec' request requires a non-empty 'specs' list")
+    specs: list[Spec] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"specs[{position}]: expected a spec dictionary")
+        # Accept both bare canonical forms and manifest entries ({digest,
+        # kind, spec}) so a fetched manifest resubmits verbatim.
+        data = entry.get("spec", entry)
+        try:
+            specs.append(spec_from_payload(data))
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"specs[{position}] does not parse: {error}") from None
+
+    def finalize(job: "Job") -> dict:
+        results = {}
+        for spec in job.specs:
+            kind, result_payload = result_to_record(job.results[spec])
+            results[spec.content_hash()] = {"kind": kind, "result": result_payload}
+        return {"results": results}
+
+    return CompiledRequest(
+        kind="spec",
+        label=f"spec batch ({len(specs)} spec(s))",
+        specs=specs,
+        request=dict(payload),
+        finalize=finalize,
+    )
+
+
+def _compile_explore(payload: Mapping, store: ResultStore | None) -> CompiledRequest:
+    from repro.experiments import explore
+
+    space = explore.overridden_space(
+        workloads=_names(payload["workloads"], "workloads")
+        if payload.get("workloads") is not None
+        else None,
+        configurations=_names(payload["configs"], "configs")
+        if payload.get("configs") is not None
+        else None,
+        assignments=_assignments(payload),
+    )
+    tuning = {
+        key: payload[key]
+        for key in ("screen_accesses", "eta", "confirm")
+        if payload.get(key) is not None
+    }
+    description = explore.describe_search(
+        space,
+        strategy=payload.get("strategy", "halving"),
+        budget=payload.get("budget"),
+        seed=int(payload.get("seed", 0)),
+        objective=payload.get("objective", "coverage"),
+        trace_overrides=_trace_overrides(payload),
+        **tuning,
+    )
+
+    return CompiledRequest(
+        kind="explore",
+        label=f"explore describe ({payload.get('strategy', 'halving')})",
+        specs=[],
+        request=dict(payload),
+        finalize=lambda job: {"description": description},
+    )
+
+
+_COMPILERS = {
+    "run": _compile_run,
+    "multiprogram": _compile_multiprogram,
+    "study": _compile_study,
+    "spec": _compile_spec,
+    "explore": _compile_explore,
+}
+
+
+def compile_request(
+    payload: Mapping, store: ResultStore | None = None
+) -> CompiledRequest:
+    """Validate one job payload and compile it (see module docs).
+
+    ``store`` is the scheduler's store: compiled specs dedupe against it,
+    and study finalization replays through it.  Raises ``ValueError`` for
+    anything malformed — unknown kind, missing fields, axis overrides the
+    named study rejects.
+    """
+
+    if not isinstance(payload, Mapping):
+        raise ValueError("job request must be a JSON object")
+    kind = payload.get("kind")
+    compiler = _COMPILERS.get(kind)
+    if compiler is None:
+        raise ValueError(
+            f"unknown request kind {kind!r}; expected one of {list(_COMPILERS)}"
+        )
+    return compiler(payload, store)

@@ -1,0 +1,584 @@
+"""The scheduling core shared by the one-shot CLI path and the daemon.
+
+The :class:`Scheduler` is the lifted form of the old batch executor: callers
+submit batches of specs as :class:`Job`\\ s, and one priority queue feeds a
+pluggable :class:`~repro.service.backends.WorkerBackend` (in-thread at
+``jobs == 1``, a process pool above).  What the executor did per batch the
+scheduler does continuously, for many concurrent clients against one warm
+store:
+
+* **store first** — every submitted spec is satisfied from the
+  :class:`~repro.experiments.store.ResultStore` when it can be, and every
+  fresh result is persisted the moment it completes;
+* **in-flight dedupe** — a spec already queued or running for another job
+  is *joined*, not re-executed: the second job waits on the same task and
+  records the result as ``shared``.  Concurrent clients submitting the
+  same study therefore cost one execution of each unique spec, total;
+* **priorities** — higher-priority jobs' specs dispatch first (FIFO within
+  a priority level; joining a queued task lifts it to the joiner's
+  priority);
+* **per-client quotas** — a submission that would push a client's
+  unresolved spec count past the quota is rejected immediately with
+  :class:`QuotaExceededError`, never queued forever;
+* **cooperative cancellation** — cancelling a job detaches it from its
+  pending tasks; tasks no other job wants and that have not started are
+  abandoned, while tasks already executing run to completion and persist
+  (the store never holds a torn batch).
+
+Sharded :class:`~repro.experiments.jobs.RunSpec`\\ s fan out exactly as they
+did under the executor: one backend call per trace window when the backend
+has more than one slot, merged in shard order on arrival.
+
+:class:`~repro.experiments.parallel.BatchExecutor` is now a thin wrapper
+that builds a scheduler, submits one job, and waits — so the CLI's one-shot
+path and the ``repro serve`` daemon exercise the same code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from functools import partial
+from typing import Callable, Mapping, Sequence
+
+from repro.experiments.jobs import RunSpec, shard_plan_for_spec
+from repro.experiments.store import Result, ResultStore, Spec
+
+#: Job lifecycle states (a job is ``running`` from submission — its specs
+#: may still be queued behind other jobs' — until it reaches a terminal
+#: state).
+JOB_STATES = ("running", "completed", "failed", "cancelled")
+
+#: How each of a job's specs was satisfied, as recorded in its provenance
+#: counters and per-spec events.
+SPEC_SOURCES = ("store", "executed", "shared")
+
+
+class QuotaExceededError(RuntimeError):
+    """A submission would exceed the per-client unresolved-spec quota."""
+
+
+def spec_label(spec: Spec) -> str:
+    """A short human-readable label for one spec (events and listings)."""
+
+    if isinstance(spec, RunSpec):
+        return f"{spec.workload} × {spec.configuration}"
+    return f"{' + '.join(spec.workloads)} × {spec.configuration}"
+
+
+class Job:
+    """One submitted batch of specs, tracked through to a terminal state.
+
+    Jobs are created by :meth:`Scheduler.submit` only.  ``results`` maps
+    each unique spec to its result once resolved; ``provenance`` counts how
+    specs were satisfied (``store``/``executed``/``shared``); ``events`` is
+    an append-only progress log whose entries carry a monotonically
+    increasing ``seq`` — pollers pass the last seen ``seq`` back to
+    :meth:`Scheduler.job_snapshot` to stream only what is new.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        specs: Sequence[Spec],
+        *,
+        client: str,
+        priority: int,
+        kind: str,
+        label: str,
+        request: Mapping | None,
+        finalize: Callable[["Job"], dict] | None,
+    ) -> None:
+        self.id = job_id
+        self.specs = tuple(specs)
+        self.client = client
+        self.priority = priority
+        self.kind = kind
+        self.label = label
+        self.request = dict(request) if request else {}
+        self.state = "running"
+        self.error: str | None = None
+        self.submitted = time.time()
+        self.finished: float | None = None
+        self.results: dict[Spec, Result] = {}
+        self.provenance = {source: 0 for source in SPEC_SOURCES}
+        self.events: list[dict] = []
+        self.payload: dict | None = None
+        self.manifest: dict | None = None
+        self._pending: set[Spec] = set(self.specs)
+        self._errors: list[BaseException] = []
+        self._finalize = finalize
+        self._sealed = False
+        self._done = threading.Event()
+
+    # -- progress -----------------------------------------------------------
+    def record_event(self, event: str, **detail) -> None:
+        """Append one progress event (``seq`` and timestamp added here)."""
+
+        self.events.append(
+            {"seq": len(self.events), "time": time.time(), "event": event, **detail}
+        )
+
+    def resolve(self, spec: Spec, result: Result, source: str) -> None:
+        """Record one spec's result (called by the scheduler, under lock)."""
+
+        self._pending.discard(spec)
+        self.results[spec] = result
+        self.provenance[source] += 1
+        self.record_event(
+            "spec_resolved",
+            spec=spec_label(spec),
+            digest=spec.content_hash()[:12],
+            source=source,
+        )
+
+    def resolve_error(self, spec: Spec, error: BaseException) -> None:
+        """Record one spec's failure (called by the scheduler, under lock)."""
+
+        self._pending.discard(spec)
+        self._errors.append(error)
+        self.record_event("spec_failed", spec=spec_label(spec), error=str(error))
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+
+        return self.state != "running"
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state (or timeout)."""
+
+        return self._done.wait(timeout)
+
+    def snapshot(self, after: int | None = None, events: bool = True) -> dict:
+        """The job's status as a JSON-safe dictionary.
+
+        ``after`` filters the event log to entries with ``seq > after``
+        (the polling-based streaming contract of ``GET /jobs/<id>``).
+        """
+
+        data = {
+            "id": self.id,
+            "kind": self.kind,
+            "label": self.label,
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state,
+            "error": self.error,
+            "submitted": self.submitted,
+            "finished": self.finished,
+            "specs": {
+                "total": len(self.specs),
+                "resolved": len(self.results),
+                **self.provenance,
+            },
+        }
+        if events:
+            log = self.events
+            if after is not None:
+                log = [entry for entry in log if entry["seq"] > after]
+            data["events"] = list(log)
+        return data
+
+
+class _Task:
+    """One unit of deduplicated work: a spec and its backend call parts."""
+
+    __slots__ = (
+        "spec", "parts", "merge", "creator", "waiters",
+        "state", "priority", "dispatched", "outcomes", "error",
+    )
+
+    def __init__(self, spec: Spec, parts, merge, creator: Job, priority: int):
+        self.spec = spec
+        self.parts = parts  # list of (fn, *args) tuples, picklable
+        self.merge = merge  # None, or merges the ordered part outcomes
+        self.creator = creator
+        self.waiters: list[Job] = [creator]
+        self.state = "queued"  # queued | running | done | failed | abandoned
+        self.priority = priority
+        self.dispatched: set[int] = set()
+        self.outcomes: dict[int, object] = {}
+        self.error: BaseException | None = None
+
+
+class Scheduler:
+    """Priority job queue + quotas + cancellation over a worker backend.
+
+    ``backend`` defaults to the policy ``jobs`` implies (inline at 1, a
+    process pool above); ``quota`` caps each client's *unresolved* specs —
+    store-satisfied specs never count.  ``kernel`` travels to workers with
+    every call, exactly as the executor forwarded it.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        kernel: str | None = None,
+        backend=None,
+        quota: int | None = None,
+    ) -> None:
+        from repro.service.backends import backend_for_jobs
+
+        self.store = store
+        self.kernel = kernel
+        self.quota = quota
+        self._backend = backend if backend is not None else backend_for_jobs(jobs)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._tasks: dict[Spec, _Task] = {}
+        self._heap: list[tuple[int, int, int, _Task]] = []
+        self._seq = itertools.count()
+        self._outstanding: dict[str, int] = {}
+        self._active = 0
+        self._stop = False
+        self._dispatcher: threading.Thread | None = None
+        self._started = time.time()
+        self.executed = 0  # specs this scheduler ran (not hits, not shares)
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence[Spec],
+        *,
+        client: str = "local",
+        priority: int = 0,
+        kind: str = "batch",
+        label: str | None = None,
+        request: Mapping | None = None,
+        finalize: Callable[[Job], dict] | None = None,
+    ) -> Job:
+        """Enqueue one job; returns immediately with its :class:`Job`.
+
+        Raises :class:`QuotaExceededError` before any state changes when
+        the batch's store misses would push ``client`` past the quota.
+        """
+
+        unique = list(dict.fromkeys(specs))
+        job = Job(
+            f"job-{uuid.uuid4().hex[:12]}",
+            unique,
+            client=client,
+            priority=priority,
+            kind=kind,
+            label=label or (spec_label(unique[0]) if unique else kind),
+            request=request,
+            finalize=finalize,
+        )
+        completed = False
+        with self._cond:
+            misses = [
+                spec
+                for spec in unique
+                if self.store is None or spec not in self.store
+            ]
+            if self.quota is not None:
+                held = self._outstanding.get(client, 0)
+                if held + len(misses) > self.quota:
+                    raise QuotaExceededError(
+                        f"client {client!r} quota exceeded: {held} unresolved "
+                        f"spec(s) held + {len(misses)} submitted > quota "
+                        f"{self.quota}; retry once current jobs finish"
+                    )
+            self._jobs[job.id] = job
+            job.record_event(
+                "submitted", specs=len(unique), misses=len(misses), client=client
+            )
+            for spec in unique:
+                cached = self.store.get(spec) if self.store is not None else None
+                if cached is not None:
+                    job.resolve(spec, cached, "store")
+                    continue
+                self._outstanding[client] = self._outstanding.get(client, 0) + 1
+                task = self._tasks.get(spec)
+                if task is not None and task.state in ("queued", "running"):
+                    task.waiters.append(job)
+                    if priority > task.priority and task.state == "queued":
+                        # Lift the queued task to the joiner's priority by
+                        # re-pushing its undispatched parts; stale heap
+                        # entries are skipped via ``dispatched`` on pop.
+                        task.priority = priority
+                        self._push_parts(task)
+                    continue
+                self._tasks[spec] = task = self._make_task(spec, job, priority)
+                self._push_parts(task)
+            if not job._pending:
+                job._sealed = True
+                completed = True
+            else:
+                self._ensure_dispatcher()
+                self._cond.notify_all()
+        if completed:
+            self._finish_job(job)
+        return job
+
+    def _make_task(self, spec: Spec, creator: Job, priority: int) -> _Task:
+        """Build the task for one spec miss (sharded specs fan out).
+
+        Execution entry points are resolved through the
+        :mod:`~repro.experiments.parallel` namespace at task-creation time,
+        which keeps that module the single patch point for counting or
+        faking executions in tests.
+        """
+
+        from repro.experiments import parallel
+
+        if (
+            isinstance(spec, RunSpec)
+            and spec.shards > 1
+            and self._backend.slots > 1
+        ):
+            plan = shard_plan_for_spec(spec)
+            if plan.shard_count > 1:
+                from repro.sim.shard import merge_shard_outcomes
+
+                parts = [
+                    (parallel.execute_spec_shard, spec, index, self.kernel)
+                    for index in range(plan.shard_count)
+                ]
+                return _Task(spec, parts, merge_shard_outcomes, creator, priority)
+        return _Task(
+            spec,
+            [(partial(parallel.execute, kernel=self.kernel), spec)],
+            None,
+            creator,
+            priority,
+        )
+
+    def _push_parts(self, task: _Task) -> None:
+        """Heap-push every undispatched part of a task at its priority."""
+
+        for index in range(len(task.parts)):
+            if index not in task.dispatched:
+                heapq.heappush(
+                    self._heap, (-task.priority, next(self._seq), index, task)
+                )
+
+    # -- dispatch ------------------------------------------------------------
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-scheduler", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop and not (
+                    self._heap and self._active < self._backend.slots
+                ):
+                    self._cond.wait()
+                if self._stop:
+                    return
+                _, _, index, task = heapq.heappop(self._heap)
+                if task.state not in ("queued", "running") or index in task.dispatched:
+                    continue  # abandoned/failed task or stale re-pushed entry
+                task.state = "running"
+                task.dispatched.add(index)
+                self._active += 1
+                call = task.parts[index]
+            try:
+                future = self._backend.submit(*call)
+            except BaseException as error:  # noqa: BLE001 - backend refused
+                self._part_done(task, index, None, error)
+                continue
+            future.add_done_callback(
+                lambda f, t=task, i=index: self._part_done(t, i, f, None)
+            )
+
+    def _part_done(self, task: _Task, index: int, future, submit_error) -> None:
+        """One backend call finished; merge, persist, resolve waiters."""
+
+        completions: list[Job] = []
+        with self._cond:
+            self._active -= 1
+            error = submit_error if future is None else future.exception()
+            if error is not None:
+                if task.state != "failed":
+                    task.state = "failed"
+                    task.error = error
+                    completions = self._resolve_task(task, None, error)
+                    self._tasks.pop(task.spec, None)
+            elif task.state == "running":
+                task.outcomes[index] = future.result()
+                if len(task.outcomes) == len(task.parts):
+                    if task.merge is not None:
+                        result = task.merge(
+                            [task.outcomes[i] for i in range(len(task.parts))]
+                        )
+                    else:
+                        result = task.outcomes[index]
+                    if self.store is not None:
+                        self.store.put(task.spec, result)
+                    self.executed += 1
+                    task.state = "done"
+                    completions = self._resolve_task(task, result, None)
+                    self._tasks.pop(task.spec, None)
+            self._cond.notify_all()
+        for job in completions:
+            self._finish_job(job)
+
+    def _resolve_task(self, task: _Task, result, error) -> list[Job]:
+        """Under lock: deliver a task outcome to every waiting job."""
+
+        sealed: list[Job] = []
+        for job in task.waiters:
+            if job.state != "running" or task.spec not in job._pending:
+                continue
+            if error is None:
+                source = "executed" if job is task.creator else "shared"
+                job.resolve(task.spec, result, source)
+            else:
+                job.resolve_error(task.spec, error)
+            self._release_quota(job.client, 1)
+            if not job._pending and not job._sealed:
+                job._sealed = True
+                sealed.append(job)
+        return sealed
+
+    def _release_quota(self, client: str, count: int) -> None:
+        held = self._outstanding.get(client, 0) - count
+        if held > 0:
+            self._outstanding[client] = held
+        else:
+            self._outstanding.pop(client, None)
+
+    def _finish_job(self, job: Job) -> None:
+        """Outside the lock: run finalize, then seal the terminal state.
+
+        Finalize (the request layer's reduce step — rendering a study
+        table, flattening stats) may itself run batches through a *fresh*
+        one-shot scheduler against the now-warm store; it must never submit
+        to *this* scheduler, which could deadlock a single-slot backend.
+        """
+
+        payload: dict | None = None
+        finalize_error: BaseException | None = None
+        if not job._errors and job._finalize is not None:
+            try:
+                payload = job._finalize(job)
+            except Exception as error:  # noqa: BLE001 - recorded on the job
+                finalize_error = error
+        with self._cond:
+            if job.state != "running":  # pragma: no cover - cancel race guard
+                return
+            if job._errors or finalize_error is not None:
+                failure = job._errors[0] if job._errors else finalize_error
+                job.state = "failed"
+                job.error = str(failure)
+                job._errors = job._errors or [finalize_error]
+            else:
+                job.state = "completed"
+                job.payload = payload
+            job.finished = time.time()
+            job.record_event(job.state)
+            job._done.set()
+            self._cond.notify_all()
+
+    # -- job control ---------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """The job for an id; raises ``KeyError`` for unknown ids."""
+
+        with self._lock:
+            return self._jobs[job_id]
+
+    def job_snapshot(self, job_id: str, after: int | None = None) -> dict:
+        """A consistent status snapshot (see :meth:`Job.snapshot`)."""
+
+        with self._lock:
+            return self._jobs[job_id].snapshot(after=after)
+
+    def jobs(self) -> list[Job]:
+        """Every job this scheduler has accepted, in submission order."""
+
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job cooperatively; returns whether anything changed.
+
+        Pending specs are detached; queued tasks nobody else wants are
+        abandoned before they start.  Specs already executing run to
+        completion and persist to the store — cancellation never tears a
+        batch mid-write — but the job stops waiting for them.
+        """
+
+        with self._cond:
+            job = self._jobs[job_id]
+            if job.state != "running" or job._sealed:
+                return False
+            abandoned = 0
+            for spec in list(job._pending):
+                task = self._tasks.get(spec)
+                if task is not None and job in task.waiters:
+                    task.waiters.remove(job)
+                    if not task.waiters and task.state == "queued":
+                        task.state = "abandoned"
+                        self._tasks.pop(spec, None)
+                        abandoned += 1
+            released = len(job._pending)
+            job._pending.clear()
+            self._release_quota(job.client, released)
+            job.state = "cancelled"
+            job.finished = time.time()
+            job.record_event("cancelled", detached=released, abandoned=abandoned)
+            job._done.set()
+            self._cond.notify_all()
+        return True
+
+    # -- one-shot + lifecycle -------------------------------------------------
+    def run(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
+        """Submit one batch and wait: the executor-compatible one-shot path.
+
+        Returns a spec → result mapping for the unique specs, in
+        submission order.  A failing spec re-raises its original exception,
+        exactly as the in-process executor did.
+        """
+
+        job = self.submit(specs)
+        job.wait()
+        if job._errors:
+            raise job._errors[0]
+        return {spec: job.results[spec] for spec in job.specs}
+
+    def stats(self) -> dict:
+        """JSON-safe scheduler counters (the daemon's ``/healthz`` body)."""
+
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "uptime_s": time.time() - self._started,
+                "jobs": states,
+                "queued_parts": len(self._heap),
+                "active_parts": self._active,
+                "executed_specs": self.executed,
+                "outstanding": dict(self._outstanding),
+                "backend_slots": self._backend.slots,
+                "quota": self.quota,
+            }
+
+    def close(self) -> None:
+        """Stop the dispatch loop and release the backend (idempotent)."""
+
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.join()
+        self._backend.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,287 @@
+"""The ``repro serve`` daemon: a stdlib HTTP/JSON front on the scheduler.
+
+One long-running process owns a :class:`~repro.service.scheduler.Scheduler`
+over the shared result store, and every client — the ``repro submit`` CLI,
+the :mod:`repro.client` Python client, plain ``curl`` — talks to it over
+JSON:
+
+==========================  =================================================
+``POST /jobs``              submit a job (see :mod:`repro.service.requests`
+                            for the body kinds); returns the job snapshot,
+                            ``429`` over quota, ``400`` on validation errors
+``GET /jobs``               list every job's snapshot (without event logs)
+``GET /jobs/<id>``          one job's status; ``?after=N`` returns only
+                            progress events with ``seq > N`` (poll-based
+                            streaming)
+``GET /jobs/<id>/result``   the reduced result payload plus the run
+                            manifest; ``409`` until the job completes
+``POST /jobs/<id>/cancel``  cooperative cancellation
+``GET /healthz``            liveness + scheduler counters + code version
+``GET /store/stats``        the shared store's machine-readable statistics
+                            (the same serializer ``repro cache show --json``
+                            prints)
+==========================  =================================================
+
+Everything is stdlib (``http.server.ThreadingHTTPServer``): no new
+dependencies.  Handler threads block in :meth:`Scheduler.submit` only long
+enough to compile and enqueue — execution happens on the scheduler's
+backend — so a slow simulation never starves ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.experiments.jobs import code_version
+from repro.experiments.store import ResultStore, store_stats_payload
+from repro.service.manifest import job_manifest
+from repro.service.requests import compile_request
+from repro.service.scheduler import QuotaExceededError, Scheduler
+
+#: Default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server plus the scheduler/store it fronts."""
+
+    daemon_threads = True
+
+    def __init__(self, address, scheduler: Scheduler, store: ResultStore | None,
+                 verbose: bool = False) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        """The base URL clients should talk to."""
+
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer  # narrowed for the route handlers
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            sys.stderr.write(
+                f"repro serve: {self.address_string()} {format % args}\n"
+            )
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _client_name(self, payload: dict) -> str:
+        return (
+            payload.get("client")
+            or self.headers.get("X-Repro-Client")
+            or self.client_address[0]
+        )
+
+    # -- routes --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "code_version": code_version(),
+                        "scheduler": self.server.scheduler.stats(),
+                        "store": store_stats_payload(self.server.store)
+                        if self.server.store is not None
+                        else None,
+                    },
+                )
+            elif parts == ["store", "stats"]:
+                if self.server.store is None:
+                    self._error(404, "this daemon runs without a store")
+                    return
+                self._send(200, store_stats_payload(self.server.store))
+            elif parts == ["jobs"]:
+                with_jobs = self.server.scheduler.jobs()
+                self._send(
+                    200, {"jobs": [job.snapshot(events=False) for job in with_jobs]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                query = parse_qs(url.query)
+                after_raw = query.get("after", [None])[0]
+                after = int(after_raw) if after_raw is not None else None
+                self._send(200, self.server.scheduler.job_snapshot(parts[1], after))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                self._send_result(parts[1])
+            else:
+                self._error(404, f"no such endpoint: GET {url.path}")
+        except KeyError:
+            self._error(404, f"unknown job {parts[1]!r}")
+        except ValueError as error:
+            self._error(400, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                self._submit_job()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                scheduler = self.server.scheduler
+                cancelled = scheduler.cancel(parts[1])
+                snapshot = scheduler.job_snapshot(parts[1])
+                self._send(200, {"cancelled": cancelled, "job": snapshot})
+            else:
+                self._error(404, f"no such endpoint: POST {url.path}")
+        except KeyError:
+            self._error(404, f"unknown job {parts[1]!r}")
+        except QuotaExceededError as error:
+            self._error(429, str(error))
+        except ValueError as error:
+            self._error(400, str(error))
+
+    def _submit_job(self) -> None:
+        payload = self._read_json()
+        compiled = compile_request(payload, self.server.store)
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ValueError("priority must be an integer")
+        job = self.server.scheduler.submit(
+            compiled.specs,
+            client=self._client_name(payload),
+            priority=priority,
+            kind=compiled.kind,
+            label=compiled.label,
+            request=compiled.request,
+            finalize=compiled.finalize,
+        )
+        self._send(201, job.snapshot(events=False))
+
+    def _send_result(self, job_id: str) -> None:
+        scheduler = self.server.scheduler
+        job = scheduler.get(job_id)
+        if not job.done:
+            self._error(
+                409, f"job {job_id} is still {job.state}; poll GET /jobs/{job_id}"
+            )
+            return
+        if job.state != "completed":
+            self._send(
+                409,
+                {
+                    "error": f"job {job_id} {job.state}"
+                    + (f": {job.error}" if job.error else ""),
+                    "job": job.snapshot(events=False),
+                },
+            )
+            return
+        self._send(
+            200,
+            {
+                "job": job.snapshot(events=False),
+                "result": job.payload,
+                "manifest": job_manifest(job, self.server.store),
+            },
+        )
+
+
+def build_server(
+    store: ResultStore | None,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    jobs: int = 1,
+    kernel: str | None = None,
+    quota: int | None = None,
+    verbose: bool = False,
+) -> ServiceServer:
+    """A ready-to-run service (``port=0`` picks a free port — tests use this).
+
+    The caller owns the lifecycle: ``serve_forever()`` (usually on a
+    thread), then ``shutdown()``/``server_close()`` and
+    ``scheduler.close()``.
+    """
+
+    scheduler = Scheduler(store=store, jobs=jobs, kernel=kernel, quota=quota)
+    return ServiceServer((host, port), scheduler, store, verbose=verbose)
+
+
+def serve(
+    store: ResultStore | None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    jobs: int = 1,
+    kernel: str | None = None,
+    quota: int | None = None,
+    verbose: bool = False,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the process exit code.
+
+    This is ``repro serve``: bind, announce the URL on stdout (so wrappers
+    can scrape it), block in the accept loop, and shut down cleanly —
+    stop accepting, then close the scheduler (waiting for in-flight
+    simulations so the store is never torn mid-write).
+    """
+
+    server = build_server(
+        store, host=host, port=port, jobs=jobs, kernel=kernel, quota=quota,
+        verbose=verbose,
+    )
+
+    def _request_shutdown(signum, frame) -> None:
+        # shutdown() must not run on the thread blocked in serve_forever()
+        # (it joins that loop), and signal handlers run on the main thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(store: {store.directory if store is not None else 'disabled'}, "
+        f"jobs: {jobs}"
+        + (f", quota: {quota}" if quota is not None else "")
+        + ")",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        server.scheduler.close()
+    print("repro serve: shut down cleanly", flush=True)
+    return 0

@@ -1,0 +1,580 @@
+"""Tests for the service layer: scheduler, manifests, HTTP API, CLI verbs.
+
+The scheduler tests drive a hand-cranked backend so that queueing,
+cancellation and quota decisions are deterministic — no sleeps, no racing
+real executions.  The HTTP tests run a real ``ThreadingHTTPServer`` on an
+ephemeral port and talk to it through :class:`repro.client.ServiceClient`,
+exactly as ``repro submit`` does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.cli import main
+from repro.client import ServiceClient, ServiceError
+from repro.experiments.jobs import code_version
+from repro.experiments.parallel import BatchExecutor
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultStore, default_store, store_stats_payload
+from repro.service.manifest import job_manifest, spec_from_payload, spec_payload, verify_manifest
+from repro.service.scheduler import Job, QuotaExceededError, Scheduler
+from repro.service.server import build_server
+
+
+def quick_runner(**overrides) -> ExperimentRunner:
+    defaults = dict(
+        max_accesses=600,
+        trace_overrides={"length": 1200},
+        warmup_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return ExperimentRunner(**defaults)
+
+
+class ManualBackend:
+    """A ``WorkerBackend`` the test cranks by hand.
+
+    ``submit`` records the call and returns an unresolved future;
+    :meth:`run_next` executes the oldest unresolved call synchronously on
+    the calling thread (so scheduler callbacks have run when it returns).
+    """
+
+    def __init__(self, slots: int = 1):
+        self.slots = slots
+        self.calls: list[tuple] = []
+        self._cond = threading.Condition()
+
+    def submit(self, fn, /, *args) -> Future:
+        future: Future = Future()
+        with self._cond:
+            self.calls.append((fn, args, future))
+            self._cond.notify_all()
+        return future
+
+    def wait_for_calls(self, count: int, timeout: float = 10.0) -> None:
+        with self._cond:
+            arrived = self._cond.wait_for(lambda: len(self.calls) >= count, timeout)
+        assert arrived, f"backend saw {len(self.calls)} call(s), wanted {count}"
+
+    def run_next(self) -> None:
+        fn, args, future = next(c for c in self.calls if not c[2].done())
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 - delivered to the future
+            future.set_exception(error)
+
+    def close(self) -> None:
+        pass
+
+
+class TestSchedulerCore:
+    def test_store_hits_resolve_at_submit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        spec = runner.spec_for("xalan", "baseline")
+        BatchExecutor(store=store, jobs=1).run([spec])
+
+        backend = ManualBackend()
+        with Scheduler(store=store, backend=backend) as scheduler:
+            job = scheduler.submit([spec])
+            assert job.wait(5)
+            assert job.state == "completed"
+            assert job.provenance == {"store": 1, "executed": 0, "shared": 0}
+        assert backend.calls == []  # never touched the backend
+
+    def test_empty_job_completes_immediately(self, tmp_path):
+        with Scheduler(store=ResultStore(tmp_path)) as scheduler:
+            job = scheduler.submit([], kind="explore")
+            assert job.state == "completed"
+            events = [entry["event"] for entry in job.events]
+            assert events == ["submitted", "completed"]
+
+    def test_inflight_dedupe_records_shared(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        spec = runner.spec_for("xalan", "baseline")
+        backend = ManualBackend()
+        with Scheduler(store=store, backend=backend) as scheduler:
+            first = scheduler.submit([spec], client="alice")
+            backend.wait_for_calls(1)
+            second = scheduler.submit([spec], client="bob")
+            assert len(backend.calls) == 1  # joined, not re-queued
+            backend.run_next()
+            assert first.wait(5) and second.wait(5)
+            assert first.provenance["executed"] == 1
+            assert second.provenance["shared"] == 1
+            assert first.results[spec] == second.results[spec]
+        assert store.puts == 1
+
+    def test_priority_orders_dispatch(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        first = runner.spec_for("xalan", "baseline")
+        low = runner.spec_for("omnet", "baseline")
+        high = runner.spec_for("mcf", "baseline")
+        backend = ManualBackend()
+        with Scheduler(store=store, backend=backend) as scheduler:
+            jobs = [scheduler.submit([first])]
+            backend.wait_for_calls(1)  # occupies the single slot
+            jobs.append(scheduler.submit([low], priority=0))
+            jobs.append(scheduler.submit([high], priority=5))
+            backend.run_next()
+            backend.wait_for_calls(2)
+            assert backend.calls[1][1][0] is high  # priority 5 beat FIFO
+            backend.run_next()
+            backend.wait_for_calls(3)
+            assert backend.calls[2][1][0] is low
+            backend.run_next()
+            for job in jobs:
+                assert job.wait(5) and job.state == "completed"
+
+    def test_run_reraises_original_error(self, tmp_path):
+        runner = quick_runner(store=None)
+        spec = dataclasses.replace(
+            runner.spec_for("xalan", "baseline"), configuration="no-such-config"
+        )
+        with Scheduler(store=ResultStore(tmp_path)) as scheduler:
+            with pytest.raises(ValueError, match="no-such-config"):
+                scheduler.run([spec])
+            job = scheduler.jobs()[0]
+            assert job.state == "failed"
+            assert "no-such-config" in job.error
+
+
+class TestCancellation:
+    def test_cancel_mid_batch_leaves_store_consistent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        running = runner.spec_for("xalan", "baseline")
+        queued = runner.spec_for("omnet", "baseline")
+        backend = ManualBackend()
+        with Scheduler(store=store, backend=backend) as scheduler:
+            job = scheduler.submit([running, queued], client="alice")
+            backend.wait_for_calls(1)  # `running` dispatched, `queued` waiting
+
+            assert scheduler.cancel(job.id) is True
+            assert job.state == "cancelled"
+            assert job.wait(1)
+            assert scheduler.cancel(job.id) is False  # idempotent
+            # The queued task was abandoned before it started; the running
+            # one keeps executing.
+            assert queued not in scheduler._tasks
+
+            backend.run_next()  # the in-flight execution completes anyway
+            assert store.puts == 1  # ...and persisted: no torn batch
+
+        # The store is consistent: the completed spec replays, the abandoned
+        # one was never written, and every record on disk parses.
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(running) is not None
+        assert fresh.get(queued) is None
+        assert len(fresh.records()) == 1
+
+    def test_cancel_releases_quota(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        backend = ManualBackend()
+        with Scheduler(store=store, backend=backend, quota=2) as scheduler:
+            job = scheduler.submit(
+                [runner.spec_for(w, "baseline") for w in ("xalan", "omnet")],
+                client="alice",
+            )
+            with pytest.raises(QuotaExceededError):
+                scheduler.submit([runner.spec_for("mcf", "baseline")], client="alice")
+            scheduler.cancel(job.id)
+            # Quota released: the same client can submit again at once.
+            scheduler.submit([runner.spec_for("mcf", "baseline")], client="alice")
+
+    def test_completed_job_is_not_cancellable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        spec = runner.spec_for("xalan", "baseline")
+        BatchExecutor(store=store, jobs=1).run([spec])
+        with Scheduler(store=store) as scheduler:
+            job = scheduler.submit([spec])
+            assert job.wait(5)
+            assert scheduler.cancel(job.id) is False
+            assert job.state == "completed"
+
+
+class TestQuota:
+    def test_over_quota_rejected_before_any_state_changes(self, tmp_path):
+        runner = quick_runner(store=None)
+        specs = [runner.spec_for(w, "baseline") for w in ("xalan", "omnet", "mcf")]
+        with Scheduler(backend=ManualBackend(), quota=2) as scheduler:
+            with pytest.raises(QuotaExceededError, match="quota"):
+                scheduler.submit(specs, client="alice")
+            assert scheduler.jobs() == []  # nothing was queued
+            assert scheduler.stats()["outstanding"] == {}
+
+    def test_quota_is_per_client(self, tmp_path):
+        runner = quick_runner(store=None)
+        backend = ManualBackend()
+        with Scheduler(backend=backend, quota=1) as scheduler:
+            scheduler.submit([runner.spec_for("xalan", "baseline")], client="alice")
+            with pytest.raises(QuotaExceededError):
+                scheduler.submit([runner.spec_for("omnet", "baseline")], client="alice")
+            # A different client has its own budget.
+            scheduler.submit([runner.spec_for("omnet", "baseline")], client="bob")
+
+    def test_store_hits_do_not_count_against_quota(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        warm = [runner.spec_for(w, "baseline") for w in ("xalan", "omnet")]
+        BatchExecutor(store=store, jobs=1).run(warm)
+        miss = runner.spec_for("mcf", "baseline")
+        with Scheduler(store=store, backend=ManualBackend(), quota=1) as scheduler:
+            # Two hits + one miss fits a quota of one unresolved spec.
+            job = scheduler.submit([*warm, miss], client="alice")
+            assert job.provenance["store"] == 2
+
+
+class TestManifest:
+    def test_spec_payload_round_trips(self, tmp_path):
+        run = quick_runner(store=None, shards=2).spec_for("xalan", "triangel")
+        pair = quick_runner(store=None).multiprogram_spec_for(
+            ["xalan", "omnet"], "triangel", 300
+        )
+        for spec in (run, pair):
+            payload = spec_payload(spec)
+            rebuilt = spec_from_payload(payload["spec"])
+            assert rebuilt == spec
+            assert rebuilt.content_hash() == payload["digest"]
+
+    def test_unknown_spec_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            spec_from_payload({"kind": "mystery"})
+
+    def test_job_manifest_verifies_and_detects_tampering(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = quick_runner(store=store)
+        spec = runner.spec_for("xalan", "baseline")
+        with Scheduler(store=store) as scheduler:
+            job = scheduler.submit([spec], request={"kind": "spec"})
+            assert job.wait(10)
+        manifest = job_manifest(job, store)
+        assert json.loads(json.dumps(manifest)) == manifest  # pure JSON
+        assert manifest["code_version"] == code_version()
+        assert manifest["store"]["path"] == str(store.directory)
+        assert manifest["store"]["executed"] == 1
+        assert verify_manifest(manifest) == []
+
+        tampered = json.loads(json.dumps(manifest))
+        tampered["specs"][0]["digest"] = "0" * 64
+        problems = verify_manifest(tampered)
+        assert len(problems) == 1 and "digest" in problems[0]
+
+        stale = json.loads(json.dumps(manifest))
+        stale["code_version"] = "not-the-running-code"
+        problems = verify_manifest(stale)
+        assert len(problems) == 1 and "code_version" in problems[0]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live daemon on an ephemeral port, plus the store it fronts."""
+
+    store = ResultStore(tmp_path / "service-store")
+    server = build_server(store, port=0, jobs=1)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.scheduler.close()
+    thread.join(timeout=5)
+
+
+TINY_RUN = {
+    "kind": "run",
+    "workload": "xalan",
+    "configurations": ["baseline"],
+    "trace_length": 1200,
+    "max_accesses": 600,
+}
+
+
+class TestHTTPService:
+    def test_healthz_and_store_stats(self, service):
+        client = ServiceClient(service.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["code_version"] == code_version()
+        assert health["scheduler"]["backend_slots"] == 1
+        stats = client.store_stats()
+        assert stats == json.loads(json.dumps(store_stats_payload(service.store)))
+
+    def test_submit_wait_result_manifest_and_warm_replay(self, service):
+        client = ServiceClient(service.url, client="test-suite")
+        job = client.submit(TINY_RUN)
+        assert job["state"] in ("running", "completed")
+        snapshot = client.wait(job["id"], timeout=60)
+        assert snapshot["state"] == "completed"
+        result = client.result(job["id"])
+        stats = result["result"]["results"]["baseline"]
+        assert stats["accesses"] == 600
+        manifest = result["manifest"]
+        assert manifest["job"]["client"] == "test-suite"
+        assert manifest["store"] == {
+            "path": str(service.store.directory),
+            "hits": 0,
+            "executed": 1,
+            "shared": 0,
+        }
+        assert verify_manifest(manifest) == []
+
+        # Same request again: fully satisfied by the store, zero executions.
+        replay = client.submit(TINY_RUN)
+        client.wait(replay["id"], timeout=60)
+        replay_manifest = client.result(replay["id"])["manifest"]
+        assert replay_manifest["store"]["hits"] == 1
+        assert replay_manifest["store"]["executed"] == 0
+
+        # The manifest's spec entries resubmit verbatim as a spec job.
+        resubmit = client.submit({"kind": "spec", "specs": manifest["specs"]})
+        client.wait(resubmit["id"], timeout=60)
+        fetched = client.result(resubmit["id"])
+        digest = manifest["specs"][0]["digest"]
+        assert fetched["manifest"]["store"]["executed"] == 0
+        assert digest in fetched["result"]["results"]
+
+    def test_event_streaming_with_after(self, service):
+        client = ServiceClient(service.url)
+        job = client.submit(TINY_RUN)
+        client.wait(job["id"], timeout=60)
+        full = client.status(job["id"])
+        assert [e["seq"] for e in full["events"]] == list(range(len(full["events"])))
+        last = full["events"][-1]["seq"]
+        assert client.status(job["id"], after=last)["events"] == []
+        tail = client.status(job["id"], after=last - 1)["events"]
+        assert [e["seq"] for e in tail] == [last]
+
+    def test_job_listing_and_cancel_of_finished_job(self, service):
+        client = ServiceClient(service.url)
+        job = client.submit(TINY_RUN)
+        client.wait(job["id"], timeout=60)
+        listed = client.jobs()
+        assert job["id"] in [entry["id"] for entry in listed]
+        assert all("events" not in entry for entry in listed)
+        outcome = client.cancel(job["id"])
+        assert outcome["cancelled"] is False
+        assert outcome["job"]["state"] == "completed"
+
+    def test_error_mapping(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as not_found:
+            client.status("job-nope")
+        assert not_found.value.status == 404
+        with pytest.raises(ServiceError) as bad_kind:
+            client.submit({"kind": "teleport"})
+        assert bad_kind.value.status == 400
+        with pytest.raises(ServiceError) as bad_endpoint:
+            client._request("GET", "/nope")
+        assert bad_endpoint.value.status == 404
+        with pytest.raises(ServiceError) as unreachable:
+            ServiceClient("http://127.0.0.1:9", timeout=0.5).healthz()
+        assert unreachable.value.status == 0
+
+    def test_quota_maps_to_429(self, tmp_path):
+        server = build_server(None, port=0, jobs=1, quota=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, client="greedy")
+            with pytest.raises(ServiceError) as over:
+                client.submit(
+                    {**TINY_RUN, "configurations": ["baseline", "triage"]}
+                )
+            assert over.value.status == 429
+            with pytest.raises(ServiceError):
+                client.store_stats()  # no store on this daemon: 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.scheduler.close()
+            thread.join(timeout=5)
+
+    def test_two_concurrent_clients_share_every_execution(self, service):
+        """Acceptance: same study from two clients, zero duplicate specs."""
+
+        payload = {
+            "kind": "study",
+            "name": "fig10",
+            "workloads": ["xalan"],
+            "configs": ["triangel"],
+            "trace_length": 1200,
+            "max_accesses": 600,
+        }
+        barrier = threading.Barrier(2)
+        results: dict[str, dict] = {}
+
+        def submit_and_fetch(name: str) -> None:
+            client = ServiceClient(service.url, client=name)
+            barrier.wait()
+            job = client.submit(payload)
+            client.wait(job["id"], timeout=120)
+            results[name] = client.result(job["id"])
+
+        threads = [
+            threading.Thread(target=submit_and_fetch, args=(name,))
+            for name in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert set(results) == {"alice", "bob"}
+
+        manifests = [results[name]["manifest"] for name in ("alice", "bob")]
+        unique_specs = len(manifests[0]["specs"])
+        assert unique_specs > 0
+        for manifest in manifests:
+            counters = manifest["store"]
+            assert (
+                counters["hits"] + counters["executed"] + counters["shared"]
+                == unique_specs
+            )
+            assert verify_manifest(manifest) == []
+        # Zero duplicates: each unique spec was executed exactly once in
+        # total, whichever client's job carried it.
+        assert sum(m["store"]["executed"] for m in manifests) == service.store.puts
+        assert service.store.puts == unique_specs
+        # ...and both clients got the identical rendered figure.
+        assert results["alice"]["result"]["rendered"] == results["bob"]["result"]["rendered"]
+
+
+def _hammer_store(path, pairs) -> None:
+    """Worker-process body for the concurrent-append regression test."""
+
+    store = ResultStore(path)
+    for spec, result in pairs:
+        store.put(spec, result)
+
+
+class TestStoreConcurrentWriters:
+    def test_parallel_process_appends_never_tear_records(self, tmp_path):
+        """Satellite: concurrent ``store.put`` from several processes.
+
+        Four processes append interleaved JSONL records to one store file;
+        the flock-serialised appends must leave every record parseable and
+        retrievable.  (Without the lock this flakes with torn lines once
+        records span a pipe-buffer boundary.)
+        """
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        runner = quick_runner(store=None)
+        base = runner.spec_for("xalan", "baseline")
+        result = BatchExecutor(store=None, jobs=1).run([base])[base]
+        specs = [
+            dataclasses.replace(base, max_accesses=600 + index)
+            for index in range(48)
+        ]
+        path = tmp_path / "contended-store"
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=_hammer_store, args=(path, [(s, result) for s in chunk]))
+            for chunk in (specs[0::4], specs[1::4], specs[2::4], specs[3::4])
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        fresh = ResultStore(path)
+        assert len(fresh.records()) == len(specs)
+        for spec in specs:
+            assert fresh.get(spec) is not None
+
+
+class TestServiceCLI:
+    def test_invalid_jobs_env_is_a_one_line_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        assert main(["run", "xalan", "--trace-length", "800"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "REPRO_JOBS" in err and len(err.strip().splitlines()) == 1
+
+    def test_invalid_shards_env_is_a_one_line_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SHARDS", "two")
+        assert main(["run", "xalan", "--trace-length", "800"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_SHARDS" in err and len(err.strip().splitlines()) == 1
+
+    def test_zero_jobs_flag_rejected(self, capsys):
+        assert main(["run", "xalan", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cache_show_json_shares_the_service_serializer(self, capsys):
+        store = default_store()
+        runner = quick_runner(store=store)
+        BatchExecutor(store=store, jobs=1).run([runner.spec_for("xalan", "baseline")])
+        assert main(["cache", "show", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = store_stats_payload(store)
+        assert payload["entries"] == expected["entries"] == 1
+        assert payload["code_version"] == code_version()
+        assert payload["kinds"] == expected["kinds"]
+        assert payload["size_bytes"] > 0
+
+    def test_cache_clear_rejects_json(self, capsys):
+        assert main(["cache", "clear", "--json"]) == 2
+        assert "cache show" in capsys.readouterr().err
+
+    def test_submit_requires_its_target(self, capsys):
+        assert main(["submit", "run"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_exits_2(self, capsys):
+        assert main(["submit", "run", "xalan", "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_status_result_cancel_round_trip(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        store = ResultStore(tmp_path / "cli-store")
+        server = build_server(store, port=0, jobs=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        monkeypatch.setenv("REPRO_SERVE_URL", server.url)
+        try:
+            code = main(
+                [
+                    "submit", "run", "xalan",
+                    "--configs", "baseline",
+                    "--trace-length", "1200",
+                    "--max-accesses", "600",
+                    "--wait", "--json",
+                ]
+            )
+            assert code == 0
+            submitted = json.loads(capsys.readouterr().out)
+            job_id = submitted["job"]["id"]
+            assert submitted["manifest"]["store"]["executed"] == 1
+
+            assert main(["status", job_id]) == 0
+            status_out = capsys.readouterr().out
+            assert "completed" in status_out and job_id in status_out
+
+            assert main(["result", job_id]) == 0
+            assert "store: 0 hit(s), 1 executed" in capsys.readouterr().out
+
+            assert main(["cancel", job_id]) == 0
+            assert "not cancellable" in capsys.readouterr().out
+
+            assert main(["status", "job-missing"]) == 2
+            assert "404" in capsys.readouterr().err
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.scheduler.close()
+            thread.join(timeout=5)

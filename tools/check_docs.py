@@ -29,6 +29,7 @@ DOC_FILES = (
     "docs/architecture.md",
     "docs/exploring.md",
     "docs/reproducing-figures.md",
+    "docs/serving.md",
     "docs/traces.md",
 )
 
