@@ -125,9 +125,11 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.client import ServiceClient, ServiceError
 from repro.experiments import figures
 from repro.experiments.configs import configuration_signatures
@@ -548,6 +550,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry layer (metrics registry, timing spans, "
+        "event log; same as REPRO_TELEMETRY=1) — GET /metrics serves the "
+        "registry either way, but series only move when enabled",
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="inspect the telemetry event log (requires REPRO_TELEMETRY=1 runs)"
+    )
+    obs_parser.add_argument(
+        "action",
+        choices=("tail", "summary"),
+        help="'tail' prints the newest events; 'summary' aggregates by event type",
+    )
+    obs_parser.add_argument(
+        "--count", type=int, default=20, help="events to show with 'tail' (default: 20)"
+    )
+    obs_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory whose obs/ log to read (default: .repro_cache "
+        "or $REPRO_CACHE_DIR)",
+    )
+    obs_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
         parser.add_argument(
@@ -686,6 +716,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="warm-up overlap each shard replays before its sampling window "
         "opens: an access count, 'warmup' (one warm-up length; default), or "
         "'full' (the entire sequential prefix — bit-identical to unsharded)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry layer for this invocation (metrics, "
+        "timing spans, event log; same as REPRO_TELEMETRY=1); results are "
+        "bit-identical either way",
     )
 
 
@@ -1391,8 +1428,68 @@ def _command_submit(args: argparse.Namespace) -> str:
         raise ValueError(f"job {job['id']} {snapshot['state']}{suffix}")
     result = client.result(job["id"])
     if args.json:
-        return json.dumps(result, indent=2, sort_keys=True)
+        return json.dumps(
+            {**result, "wait": client.last_wait}, indent=2, sort_keys=True
+        )
     return _render_job_result(result)
+
+
+def _command_obs(args: argparse.Namespace) -> str:
+    """Implement ``repro obs``: tail or summarise the telemetry event log."""
+
+    from repro.obs.events import EventLog, default_log_path
+
+    log = EventLog(default_log_path(getattr(args, "cache_dir", None)))
+    if args.action == "tail":
+        if args.count < 1:
+            raise ValueError("--count must be at least 1")
+        records = log.tail(args.count)
+        if args.json:
+            return json.dumps(records, indent=2, sort_keys=True)
+        if not records:
+            return (
+                f"no telemetry events under {log.path}\n"
+                "(produce some with --telemetry or REPRO_TELEMETRY=1)"
+            )
+        lines = []
+        for record in records:
+            stamp = time.strftime("%H:%M:%S", time.localtime(record["ts"]))
+            detail = " ".join(
+                f"{key}={record[key]}"
+                for key in sorted(record)
+                if key not in ("v", "ts", "event")
+            )
+            lines.append(f"{stamp}  {record['event']:<16} {detail}".rstrip())
+        return "\n".join(lines)
+
+    records = log.read()
+    by_event: dict[str, int] = {}
+    for record in records:
+        by_event[record["event"]] = by_event.get(record["event"], 0) + 1
+    summary = {
+        "path": str(log.path),
+        "files": [str(path) for path in log.paths()],
+        "events": len(records),
+        "by_event": by_event,
+        "first_ts": records[0]["ts"] if records else None,
+        "last_ts": records[-1]["ts"] if records else None,
+    }
+    if args.json:
+        return json.dumps(summary, indent=2, sort_keys=True)
+    if not records:
+        return (
+            f"no telemetry events under {log.path}\n"
+            "(produce some with --telemetry or REPRO_TELEMETRY=1)"
+        )
+    span_s = summary["last_ts"] - summary["first_ts"]
+    lines = [
+        f"event log: {log.path} ({len(log.paths())} file(s))",
+        f"{len(records)} event(s) spanning {span_s:.1f}s",
+    ]
+    width = max(len(name) for name in by_event)
+    for name, count in sorted(by_event.items(), key=lambda item: -item[1]):
+        lines.append(f"  {name:<{width}}  {count}")
+    return "\n".join(lines)
 
 
 def _command_status(args: argparse.Namespace) -> str:
@@ -1429,6 +1526,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
 
     args = build_parser().parse_args(argv)
+    if getattr(args, "telemetry", False):
+        # Before any simulation or server construction, so module-level
+        # producers see the toggle and pool workers inherit it via the env.
+        obs.set_enabled(True)
     try:
         if args.command == "list":
             print(_command_list())
@@ -1457,6 +1558,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 1
         elif args.command == "cache":
             print(_command_cache(args))
+        elif args.command == "obs":
+            print(_command_obs(args))
         elif args.command == "serve":
             return _command_serve(args)
         elif args.command == "submit":

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 import urllib.error
 import urllib.request
@@ -76,6 +77,8 @@ class ServiceClient:
         self.url = service_url(url)
         self.client = client
         self.timeout = timeout
+        #: ``{"polls", "elapsed_s"}`` for the most recent :meth:`wait` call.
+        self.last_wait: dict | None = None
 
     # -- transport -----------------------------------------------------------
     def _request(self, method: str, path: str, body: Mapping | None = None) -> dict:
@@ -145,20 +148,41 @@ class ServiceClient:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
     def wait(
-        self, job_id: str, timeout: float | None = None, poll: float = 0.2
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.2,
+        max_poll: float = 3.0,
     ) -> dict:
         """Poll until the job reaches a terminal state; returns the snapshot.
 
-        Raises ``TimeoutError`` if ``timeout`` seconds pass first.
+        Polling uses decorrelated-jitter backoff: each sleep is drawn
+        uniformly from ``[poll, previous_sleep * 3]`` and capped at
+        ``max_poll``, so short jobs still return promptly while a fleet of
+        waiting clients neither hammers the daemon nor synchronises into
+        polling waves.  :attr:`last_wait` records ``{"polls", "elapsed_s"}``
+        for the most recent call (``repro submit --wait --json`` surfaces
+        it).  Raises ``TimeoutError`` if ``timeout`` seconds pass first.
         """
 
         deadline = None if timeout is None else time.monotonic() + timeout
+        started = time.monotonic()
+        polls = 0
+        sleep = poll
         while True:
             snapshot = self.status(job_id)
+            polls += 1
+            self.last_wait = {
+                "polls": polls,
+                "elapsed_s": round(time.monotonic() - started, 6),
+            }
             if snapshot["state"] in TERMINAL_STATES:
                 return snapshot
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['state']} after {timeout}s"
                 )
-            time.sleep(poll)
+            sleep = min(max_poll, random.uniform(poll, max(sleep * 3, poll)))
+            if deadline is not None:
+                sleep = min(sleep, max(deadline - time.monotonic(), 0.0))
+            time.sleep(sleep)

@@ -42,6 +42,7 @@ speed — a slow build box must not fail CI, a wrong merge must.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -261,6 +262,11 @@ def run_bench(
     record: dict = {
         "bench": "engine-kernels",
         "python": f"{platform.python_implementation()} {platform.python_version()}",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
         "length": length,
         "repeats": repeats,
         "kernels": list(_COMPARED_KERNELS),
@@ -296,6 +302,8 @@ def run_bench(
                     "configuration": case.configuration,
                     "description": case.description,
                     "accesses": accesses,
+                    "reference_seconds": round(timings["reference"], 6),
+                    "fast_seconds": round(timings["fast"], 6),
                     "reference_accesses_per_second": round(reference_aps),
                     "fast_accesses_per_second": round(fast_aps),
                     "speedup": round(fast_aps / reference_aps, 2),
@@ -345,6 +353,7 @@ def run_bench(
                     "accesses": accesses,
                     "shards": plan.shard_count,
                     "shard_overlap": "warmup",
+                    "critical_path_seconds": round(critical, 6),
                     "critical_path_accesses_per_second": round(accesses / critical),
                     "speedup": round(fast_time / critical, 2),
                     "parity": True,

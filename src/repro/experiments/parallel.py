@@ -38,6 +38,7 @@ import os
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.experiments.jobs import execute, execute_spec_shard  # noqa: F401
 from repro.experiments.store import Result, ResultStore, Spec
 
@@ -113,6 +114,9 @@ class BatchExecutor:
     store: ResultStore | None = None
     jobs: int = 1
     kernel: str | None = None
+    #: Phase/provenance breakdown of the most recent ``run()`` when
+    #: telemetry is enabled (``None`` otherwise).
+    last_telemetry: dict | None = None
 
     def run(self, specs: Sequence[Spec]) -> dict[Spec, Result]:
         """Execute a batch; returns a spec → result mapping for unique specs.
@@ -122,11 +126,26 @@ class BatchExecutor:
         to its own result type (:class:`~repro.sim.stats.SimulationStats`
         and :class:`~repro.sim.multiprogram.MultiProgramResult`).  A failing
         spec re-raises its original exception.
+
+        With telemetry enabled the finished job's phase breakdown — per-spec
+        wall time, store hits vs executions, slow-shard skew — lands on
+        :attr:`last_telemetry` (``None`` otherwise, and when disabled).
         """
 
         from repro.service.scheduler import Scheduler
 
+        self.last_telemetry = None
         with Scheduler(
             store=self.store, jobs=resolve_jobs(self.jobs), kernel=self.kernel
         ) as scheduler:
-            return scheduler.run(specs)
+            job = scheduler.submit(specs)
+            job.wait()
+            if obs.enabled():
+                self.last_telemetry = {
+                    "job": job.id,
+                    "provenance": dict(job.provenance),
+                    **(job.telemetry or {}),
+                }
+            if job._errors:
+                raise job._errors[0]
+            return {spec: job.results[spec] for spec in job.specs}

@@ -43,9 +43,23 @@ try:  # pragma: no cover - import-time platform probe
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.experiments.jobs import MultiProgramSpec, RunSpec, code_version
 from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.stats import SimulationStats
+
+# Telemetry: store traffic counters (bumped only when telemetry is on; the
+# event log additionally narrates hits and puts so `repro obs tail` shows
+# cache behaviour inline with job lifecycle events).
+_STORE_HITS = obs.REGISTRY.counter(
+    "repro_store_hits_total", "Result-store lookups satisfied from the index."
+)
+_STORE_MISSES = obs.REGISTRY.counter(
+    "repro_store_misses_total", "Result-store lookups that found nothing."
+)
+_STORE_PUTS = obs.REGISTRY.counter(
+    "repro_store_puts_total", "Results persisted into the store."
+)
 
 #: Spec/result union types accepted and returned by the store.
 Spec = RunSpec | MultiProgramSpec
@@ -237,11 +251,16 @@ class ResultStore:
         entry = index.get(key)
         if entry is None:
             self.misses += 1
+            if obs.enabled():
+                _STORE_MISSES.inc()
             return None
         if isinstance(entry, tuple):
             entry = result_from_record(*entry)
             index[key] = entry
         self.hits += 1
+        if obs.enabled():
+            _STORE_HITS.inc()
+            obs.emit("store_hit", key=key[:12])
         return entry
 
     def put(self, spec: Spec, result: Result) -> None:
@@ -261,6 +280,9 @@ class ResultStore:
         self._load_index()[key] = result
         self._meta[key] = {"kind": kind, "spec": spec.as_dict()}
         self.puts += 1
+        if obs.enabled():
+            _STORE_PUTS.inc()
+            obs.emit("store_put", key=key[:12], kind=kind)
 
     def __contains__(self, spec: Spec) -> bool:
         """Whether the spec has a stored result (without counting hit/miss)."""

@@ -1,0 +1,329 @@
+"""A process-local metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of the telemetry layer (spans and the
+event log are the other two): instrumented code declares a metric once —
+``REGISTRY.counter("repro_store_hits_total", "…")`` — and bumps it from
+wherever, with optional labels.  Two read-side views exist:
+
+* :meth:`MetricsRegistry.snapshot` — a plain nested dictionary, what the
+  Python API and tests consume;
+* :meth:`MetricsRegistry.render` — the Prometheus text exposition format
+  (version 0.0.4), what the ``repro serve`` daemon's ``GET /metrics``
+  endpoint returns, so any Prometheus-compatible scraper can watch a
+  daemon without this package growing a client dependency.
+
+Everything is stdlib and dependency-free by design.  Metric objects are
+cheap to update (one lock acquisition and a dict bump), but they are still
+**not** for per-access kernel work — the kernels record one coarse sample
+per run (see :func:`repro.obs.record_replay`), never per-access.
+
+Declaring the same name twice returns the same object; redeclaring it as a
+different type or with different labels raises, because two writers
+disagreeing on a metric's identity is a bug worth failing loudly on.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Histogram bucket upper bounds used when a declaration does not choose
+#: its own: tuned for request/simulation latencies in seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0,
+)
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers bare, floats via ``repr``."""
+
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(names: tuple[str, ...], values: tuple, extra: str = "") -> str:
+    """The ``{a="x",b="y"}`` suffix for one series (empty when unlabelled)."""
+
+    pairs = [
+        f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared machinery: label validation and the per-series value table."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Iterable[str]) -> None:
+        if not _NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        for label in self.label_names:
+            if not _LABEL.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def labelled(self) -> list[tuple[tuple, object]]:
+        """Every series as ``(label_values, value)``, insertion-ordered."""
+
+        with self._lock:
+            return list(self._series.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (optionally per label set)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """The labelled series' current value (0 when never incremented)."""
+
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, in-flight counts)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract ``amount`` from the labelled series."""
+
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """The labelled series' current value (0 when never set)."""
+
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+
+class _HistogramSeries:
+    """One label set's bucket counts, sum and count."""
+
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, buckets: int) -> None:
+        self.counts = [0] * (buckets + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Observations bucketed by upper bound (latencies, durations)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(float(bound) for bound in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+
+        key = self._key(labels)
+        slot = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.counts[slot] += 1
+            series.total += value
+            series.count += 1
+
+
+class MetricsRegistry:
+    """Declares and owns metrics; snapshot-able and Prometheus-renderable.
+
+    One module-level :data:`REGISTRY` serves the whole process; tests build
+    private registries so golden output never depends on what other code
+    recorded.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _declare(self, cls, name: str, help: str, labels: Iterable[str], **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already declared as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+        """Declare (or fetch) a counter."""
+
+        return self._declare(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+        """Declare (or fetch) a gauge."""
+
+        return self._declare(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Declare (or fetch) a histogram."""
+
+        return self._declare(Histogram, name, help, labels, buckets=buckets)
+
+    def metrics(self) -> list[_Metric]:
+        """Every declared metric, in declaration order."""
+
+        with self._lock:
+            return list(self._metrics.values())
+
+    def reset(self) -> None:
+        """Drop every declared metric (tests only)."""
+
+        with self._lock:
+            self._metrics.clear()
+
+    # -- read-side views -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every metric's series as a JSON-safe nested dictionary."""
+
+        out: dict = {}
+        for metric in self.metrics():
+            series_list = []
+            for values, series in metric.labelled():
+                labels = dict(zip(metric.label_names, values))
+                if isinstance(series, _HistogramSeries):
+                    cumulative, running = {}, 0
+                    for bound, count in zip(metric.buckets, series.counts):
+                        running += count
+                        cumulative[str(bound)] = running
+                    cumulative["+Inf"] = running + series.counts[-1]
+                    series_list.append(
+                        {
+                            "labels": labels,
+                            "count": series.count,
+                            "sum": series.total,
+                            "buckets": cumulative,
+                        }
+                    )
+                else:
+                    series_list.append({"labels": labels, "value": series})
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series_list,
+            }
+        return out
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Series order is deterministic: metrics in declaration order, series
+        sorted by label values — so golden tests can compare exact text.
+        """
+
+        lines: list[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            series = sorted(metric.labelled(), key=lambda item: item[0])
+            for values, value in series:
+                if isinstance(value, _HistogramSeries):
+                    running = 0
+                    for bound, count in zip(metric.buckets, value.counts):
+                        running += count
+                        suffix = _render_labels(
+                            metric.label_names, values, f'le="{_format_value(bound)}"'
+                        )
+                        lines.append(f"{metric.name}_bucket{suffix} {running}")
+                    running += value.counts[-1]
+                    inf = _render_labels(metric.label_names, values, 'le="+Inf"')
+                    lines.append(f"{metric.name}_bucket{inf} {running}")
+                    plain = _render_labels(metric.label_names, values)
+                    lines.append(
+                        f"{metric.name}_sum{plain} {_format_value(value.total)}"
+                    )
+                    lines.append(f"{metric.name}_count{plain} {value.count}")
+                else:
+                    suffix = _render_labels(metric.label_names, values)
+                    lines.append(f"{metric.name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry every instrumented layer records into.
+REGISTRY = MetricsRegistry()

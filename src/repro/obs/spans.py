@@ -1,0 +1,187 @@
+"""Nestable timing spans with a disabled-mode no-op fast path.
+
+A span measures one named region of work::
+
+    from repro.obs import span
+
+    with span("replay", trace="bench_hot"):
+        with span("reduce"):
+            ...
+
+Spans nest through a thread-local stack: a span opened while another is
+active becomes its child, and a finished *root* span is handed to the
+thread's active collector (see :class:`collect`) so callers can attach the
+whole tree — flattened by :func:`breakdown` into a ``{name: seconds}``
+phase map — to whatever the work produced (the scheduler attaches it to
+each job's telemetry).
+
+When telemetry is disabled (the default), :func:`span` returns one shared
+no-op object: **no allocation, no clock read, no stack traffic** — which is
+what lets the allocation-free kernels keep their contract with the
+instrumentation compiled in.  Work that already measured itself (the
+kernels take two or three coarse clock samples per run, never per-access
+work) reports through :func:`add_phase`, which records a pre-timed child
+without ever having wrapped the region in a context manager.
+
+Everything here is thread-isolated: two threads never see each other's
+stacks or collectors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class Span:
+    """One timed region: name, labels, duration and child spans.
+
+    Spans are their own context managers; ``seconds`` is valid after exit.
+    """
+
+    __slots__ = ("name", "labels", "seconds", "children", "_started")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.seconds = 0.0
+        self.children: list[Span] = []
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            sink = getattr(_local, "collector", None)
+            if sink is not None:
+                sink.append(self)
+        return False
+
+    def as_dict(self) -> dict:
+        """The span tree as a JSON-safe dictionary."""
+
+        data: dict = {"name": self.name, "seconds": self.seconds}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        if self.children:
+            data["children"] = [child.as_dict() for child in self.children]
+        return data
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: every operation is free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **labels) -> Span | _NoopSpan:
+    """A context manager timing one region (the shared no-op when disabled)."""
+
+    from repro.obs import enabled
+
+    if not enabled():
+        return _NOOP
+    return Span(name, labels)
+
+
+def current_span() -> Span | None:
+    """The innermost active span on this thread, or ``None``."""
+
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def add_phase(name: str, seconds: float, **labels) -> None:
+    """Attach a pre-timed child span to the current span (or collector).
+
+    This is how already-instrumented code (the kernels' coarse post-loop
+    samples) reports into the span tree without paying for a context
+    manager per phase.  A no-op when telemetry is disabled or nothing is
+    listening.
+    """
+
+    from repro.obs import enabled
+
+    if not enabled():
+        return
+    phase = Span(name, labels)
+    phase.seconds = seconds
+    parent = current_span()
+    if parent is not None:
+        parent.children.append(phase)
+        return
+    sink = getattr(_local, "collector", None)
+    if sink is not None:
+        sink.append(phase)
+
+
+class collect:
+    """Capture every root span finished on this thread while active.
+
+    ``with collect() as spans:`` yields a list that accumulates finished
+    root spans (and orphan :func:`add_phase` records).  Collectors nest:
+    the previous collector is restored on exit, so a scheduler capturing
+    around an inline backend call never steals spans from an outer scope.
+    """
+
+    __slots__ = ("spans", "_previous")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._previous: list | None = None
+
+    def __enter__(self) -> list:
+        self._previous = getattr(_local, "collector", None)
+        _local.collector = self.spans
+        return self.spans
+
+    def __exit__(self, *exc_info) -> bool:
+        _local.collector = self._previous
+        return False
+
+
+def breakdown(spans: list) -> dict[str, float]:
+    """Flatten span trees into a ``{name: total_seconds}`` phase map.
+
+    Children contribute under their own names (summed across repeats);
+    the map is what job telemetry and tests consume — small, stable keys,
+    no tree walking required downstream.
+    """
+
+    phases: dict[str, float] = {}
+
+    def _walk(node: Span) -> None:
+        phases[node.name] = phases.get(node.name, 0.0) + node.seconds
+        for child in node.children:
+            _walk(child)
+
+    for root in spans:
+        _walk(root)
+    return {name: round(seconds, 6) for name, seconds in phases.items()}

@@ -41,9 +41,11 @@ import itertools
 import threading
 import time
 import uuid
+from collections import deque
 from functools import partial
 from typing import Callable, Mapping, Sequence
 
+from repro import obs
 from repro.experiments.jobs import RunSpec, shard_plan_for_spec
 from repro.experiments.store import Result, ResultStore, Spec
 
@@ -55,6 +57,42 @@ JOB_STATES = ("running", "completed", "failed", "cancelled")
 #: How each of a job's specs was satisfied, as recorded in its provenance
 #: counters and per-spec events.
 SPEC_SOURCES = ("store", "executed", "shared")
+
+#: Progress events retained per job.  Long-running daemon jobs with huge
+#: batches emit thousands of ``spec_resolved`` entries; the ring keeps the
+#: newest ``JOB_EVENT_LIMIT`` with their original ``seq`` numbers, so the
+#: ``?after=N`` streaming contract survives and drops are reported
+#: explicitly rather than silently renumbered.
+JOB_EVENT_LIMIT = 512
+
+_JOBS_SUBMITTED = obs.REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs accepted by the scheduler."
+)
+_JOBS_COMPLETED = obs.REGISTRY.counter(
+    "repro_jobs_completed_total", "Jobs that reached the completed state."
+)
+_JOBS_FAILED = obs.REGISTRY.counter(
+    "repro_jobs_failed_total", "Jobs that reached the failed state."
+)
+_JOBS_CANCELLED = obs.REGISTRY.counter(
+    "repro_jobs_cancelled_total", "Jobs cancelled before completion."
+)
+_SPECS_RESOLVED = obs.REGISTRY.counter(
+    "repro_specs_resolved_total",
+    "Specs resolved, by provenance (store/executed/shared).",
+    labels=("source",),
+)
+_QUEUE_DEPTH = obs.REGISTRY.gauge(
+    "repro_scheduler_queue_depth",
+    "Undispatched backend-call parts waiting in the priority heap.",
+)
+_ACTIVE_PARTS = obs.REGISTRY.gauge(
+    "repro_scheduler_active_parts", "Backend calls currently in flight."
+)
+_PART_SECONDS = obs.REGISTRY.histogram(
+    "repro_scheduler_part_seconds",
+    "Wall seconds from dispatch to completion of one backend-call part.",
+)
 
 
 class QuotaExceededError(RuntimeError):
@@ -75,9 +113,12 @@ class Job:
     Jobs are created by :meth:`Scheduler.submit` only.  ``results`` maps
     each unique spec to its result once resolved; ``provenance`` counts how
     specs were satisfied (``store``/``executed``/``shared``); ``events`` is
-    an append-only progress log whose entries carry a monotonically
-    increasing ``seq`` — pollers pass the last seen ``seq`` back to
-    :meth:`Scheduler.job_snapshot` to stream only what is new.
+    a bounded ring of the newest progress events whose entries carry a
+    monotonically increasing ``seq`` — pollers pass the last seen ``seq``
+    back to :meth:`Scheduler.job_snapshot` to stream only what is new, and
+    a poller that fell behind the ring sees the drop reported explicitly
+    (``events_dropped`` / ``events_gap``) rather than silently renumbered
+    events.
     """
 
     def __init__(
@@ -91,6 +132,7 @@ class Job:
         label: str,
         request: Mapping | None,
         finalize: Callable[["Job"], dict] | None,
+        event_limit: int = JOB_EVENT_LIMIT,
     ) -> None:
         self.id = job_id
         self.specs = tuple(specs)
@@ -105,9 +147,13 @@ class Job:
         self.finished: float | None = None
         self.results: dict[Spec, Result] = {}
         self.provenance = {source: 0 for source in SPEC_SOURCES}
-        self.events: list[dict] = []
+        self.events: deque[dict] = deque(maxlen=max(1, event_limit))
         self.payload: dict | None = None
         self.manifest: dict | None = None
+        self.telemetry: dict | None = None
+        self._event_seq = 0
+        self._phase_seconds: dict[str, float] = {}
+        self._spec_telemetry: dict[str, dict] = {}
         self._pending: set[Spec] = set(self.specs)
         self._errors: list[BaseException] = []
         self._finalize = finalize
@@ -116,11 +162,27 @@ class Job:
 
     # -- progress -----------------------------------------------------------
     def record_event(self, event: str, **detail) -> None:
-        """Append one progress event (``seq`` and timestamp added here)."""
+        """Append one progress event (``seq`` and timestamp added here).
+
+        The ring drops the oldest entry once full; ``seq`` keeps counting
+        from the dropped entries, so streaming consumers can detect gaps.
+        """
 
         self.events.append(
-            {"seq": len(self.events), "time": time.time(), "event": event, **detail}
+            {"seq": self._event_seq, "time": time.time(), "event": event, **detail}
         )
+        self._event_seq += 1
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the ring since the job was created."""
+
+        return self._event_seq - len(self.events)
+
+    def add_phase_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall time against one named phase (telemetry only)."""
+
+        self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + seconds
 
     def resolve(self, spec: Spec, result: Result, source: str) -> None:
         """Record one spec's result (called by the scheduler, under lock)."""
@@ -128,6 +190,8 @@ class Job:
         self._pending.discard(spec)
         self.results[spec] = result
         self.provenance[source] += 1
+        if obs.enabled():
+            _SPECS_RESOLVED.inc(source=source)
         self.record_event(
             "spec_resolved",
             spec=spec_label(spec),
@@ -159,6 +223,9 @@ class Job:
 
         ``after`` filters the event log to entries with ``seq > after``
         (the polling-based streaming contract of ``GET /jobs/<id>``).
+        When the ring has evicted events the snapshot says so:
+        ``events_dropped`` counts total evictions, and ``events_gap``
+        names the ``[from, to]`` seq range a too-slow poller missed.
         """
 
         data = {
@@ -178,10 +245,19 @@ class Job:
             },
         }
         if events:
-            log = self.events
+            log = list(self.events)
             if after is not None:
                 log = [entry for entry in log if entry["seq"] > after]
-            data["events"] = list(log)
+            data["events"] = log
+            dropped = self.events_dropped
+            if dropped:
+                data["events_dropped"] = dropped
+                oldest_kept = self.events[0]["seq"] if self.events else self._event_seq
+                gap_from = 0 if after is None else after + 1
+                if oldest_kept > gap_from:
+                    data["events_gap"] = [gap_from, oldest_kept - 1]
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         return data
 
 
@@ -191,6 +267,7 @@ class _Task:
     __slots__ = (
         "spec", "parts", "merge", "creator", "waiters",
         "state", "priority", "dispatched", "outcomes", "error",
+        "phases", "part_started", "part_seconds",
     )
 
     def __init__(self, spec: Spec, parts, merge, creator: Job, priority: int):
@@ -204,6 +281,11 @@ class _Task:
         self.dispatched: set[int] = set()
         self.outcomes: dict[int, object] = {}
         self.error: BaseException | None = None
+        # Telemetry only (empty when disabled): kernel phase seconds
+        # collected at dispatch, and per-part dispatch→done wall time.
+        self.phases: dict[str, float] = {}
+        self.part_started: dict[int, float] = {}
+        self.part_seconds: dict[int, float] = {}
 
 
 class Scheduler:
@@ -272,6 +354,7 @@ class Scheduler:
             finalize=finalize,
         )
         completed = False
+        telemetry = obs.enabled()
         with self._cond:
             misses = [
                 spec
@@ -290,8 +373,26 @@ class Scheduler:
             job.record_event(
                 "submitted", specs=len(unique), misses=len(misses), client=client
             )
+            if telemetry:
+                _JOBS_SUBMITTED.inc()
+                obs.emit(
+                    "job_submitted",
+                    job=job.id,
+                    kind=kind,
+                    specs=len(unique),
+                    misses=len(misses),
+                    client=client,
+                )
             for spec in unique:
-                cached = self.store.get(spec) if self.store is not None else None
+                if self.store is not None:
+                    lookup_start = time.perf_counter() if telemetry else 0.0
+                    cached = self.store.get(spec)
+                    if telemetry:
+                        job.add_phase_seconds(
+                            "store_io", time.perf_counter() - lookup_start
+                        )
+                else:
+                    cached = None
                 if cached is not None:
                     job.resolve(spec, cached, "store")
                     continue
@@ -308,6 +409,16 @@ class Scheduler:
                     continue
                 self._tasks[spec] = task = self._make_task(spec, job, priority)
                 self._push_parts(task)
+                if telemetry:
+                    obs.emit(
+                        "task_queued",
+                        job=job.id,
+                        spec=spec_label(spec),
+                        parts=len(task.parts),
+                        priority=priority,
+                    )
+            if telemetry:
+                self._update_gauges()
             if not job._pending:
                 job._sealed = True
                 completed = True
@@ -360,6 +471,12 @@ class Scheduler:
                     self._heap, (-task.priority, next(self._seq), index, task)
                 )
 
+    def _update_gauges(self) -> None:
+        """Under lock: publish queue depth and in-flight parts (telemetry)."""
+
+        _QUEUE_DEPTH.set(len(self._heap))
+        _ACTIVE_PARTS.set(self._active)
+
     # -- dispatch ------------------------------------------------------------
     def _ensure_dispatcher(self) -> None:
         if self._dispatcher is None:
@@ -370,6 +487,7 @@ class Scheduler:
 
     def _dispatch_loop(self) -> None:
         while True:
+            telemetry = obs.enabled()
             with self._cond:
                 while not self._stop and not (
                     self._heap and self._active < self._backend.slots
@@ -384,11 +502,37 @@ class Scheduler:
                 task.dispatched.add(index)
                 self._active += 1
                 call = task.parts[index]
-            try:
-                future = self._backend.submit(*call)
-            except BaseException as error:  # noqa: BLE001 - backend refused
-                self._part_done(task, index, None, error)
-                continue
+                if telemetry:
+                    task.part_started[index] = time.perf_counter()
+                    self._update_gauges()
+            if telemetry:
+                obs.emit(
+                    "task_dispatched",
+                    job=task.creator.id,
+                    spec=spec_label(task.spec),
+                    part=index,
+                )
+                # An inline backend executes the part synchronously inside
+                # submit(), on this thread — collect the kernel's phase
+                # spans here.  Pool backends return immediately and run the
+                # part in a worker process, whose spans stay process-local;
+                # only the dispatch→done wall time survives for them.
+                try:
+                    with obs.collect() as spans:
+                        future = self._backend.submit(*call)
+                except BaseException as error:  # noqa: BLE001 - backend refused
+                    self._part_done(task, index, None, error)
+                    continue
+                if spans:
+                    with self._lock:
+                        for name, seconds in obs.breakdown(spans).items():
+                            task.phases[name] = task.phases.get(name, 0.0) + seconds
+            else:
+                try:
+                    future = self._backend.submit(*call)
+                except BaseException as error:  # noqa: BLE001 - backend refused
+                    self._part_done(task, index, None, error)
+                    continue
             future.add_done_callback(
                 lambda f, t=task, i=index: self._part_done(t, i, f, None)
             )
@@ -397,13 +541,26 @@ class Scheduler:
         """One backend call finished; merge, persist, resolve waiters."""
 
         completions: list[Job] = []
+        telemetry = obs.enabled()
         with self._cond:
             self._active -= 1
+            if telemetry and index in task.part_started:
+                part_seconds = time.perf_counter() - task.part_started[index]
+                task.part_seconds[index] = part_seconds
+                _PART_SECONDS.observe(part_seconds)
             error = submit_error if future is None else future.exception()
             if error is not None:
                 if task.state != "failed":
                     task.state = "failed"
                     task.error = error
+                    if telemetry:
+                        obs.emit(
+                            "task_done",
+                            job=task.creator.id,
+                            spec=spec_label(task.spec),
+                            outcome="failed",
+                            error=str(error),
+                        )
                     completions = self._resolve_task(task, None, error)
                     self._tasks.pop(task.spec, None)
             elif task.state == "running":
@@ -416,11 +573,27 @@ class Scheduler:
                     else:
                         result = task.outcomes[index]
                     if self.store is not None:
+                        put_start = time.perf_counter() if telemetry else 0.0
                         self.store.put(task.spec, result)
+                        if telemetry:
+                            task.creator.add_phase_seconds(
+                                "store_io", time.perf_counter() - put_start
+                            )
                     self.executed += 1
                     task.state = "done"
+                    if telemetry:
+                        obs.emit(
+                            "task_done",
+                            job=task.creator.id,
+                            spec=spec_label(task.spec),
+                            outcome="done",
+                            parts=len(task.parts),
+                            seconds=round(sum(task.part_seconds.values()), 6),
+                        )
                     completions = self._resolve_task(task, result, None)
                     self._tasks.pop(task.spec, None)
+            if telemetry:
+                self._update_gauges()
             self._cond.notify_all()
         for job in completions:
             self._finish_job(job)
@@ -429,12 +602,15 @@ class Scheduler:
         """Under lock: deliver a task outcome to every waiting job."""
 
         sealed: list[Job] = []
+        telemetry = obs.enabled()
         for job in task.waiters:
             if job.state != "running" or task.spec not in job._pending:
                 continue
             if error is None:
                 source = "executed" if job is task.creator else "shared"
                 job.resolve(task.spec, result, source)
+                if telemetry:
+                    self._record_spec_telemetry(job, task, source)
             else:
                 job.resolve_error(task.spec, error)
             self._release_quota(job.client, 1)
@@ -442,6 +618,29 @@ class Scheduler:
                 job._sealed = True
                 sealed.append(job)
         return sealed
+
+    @staticmethod
+    def _record_spec_telemetry(job: Job, task: _Task, source: str) -> None:
+        """Under lock: fold a finished task's timings into one waiter job."""
+
+        seconds = sum(task.part_seconds.values())
+        entry: dict = {"seconds": round(seconds, 6), "source": source}
+        if task.phases:
+            entry["phases"] = {
+                name: round(value, 6) for name, value in task.phases.items()
+            }
+        if len(task.parts) > 1 and task.part_seconds:
+            # Slow-shard skew: how much longer the slowest shard ran than
+            # the fastest — large values mean the window split is lopsided.
+            entry["shards"] = len(task.parts)
+            entry["shard_skew_s"] = round(
+                max(task.part_seconds.values()) - min(task.part_seconds.values()), 6
+            )
+        job._spec_telemetry[spec_label(task.spec)] = entry
+        if job is task.creator:
+            job.add_phase_seconds("execute", seconds)
+            for name, value in task.phases.items():
+                job.add_phase_seconds(name, value)
 
     def _release_quota(self, client: str, count: int) -> None:
         held = self._outstanding.get(client, 0) - count
@@ -461,11 +660,15 @@ class Scheduler:
 
         payload: dict | None = None
         finalize_error: BaseException | None = None
+        telemetry = obs.enabled()
         if not job._errors and job._finalize is not None:
+            reduce_start = time.perf_counter() if telemetry else 0.0
             try:
                 payload = job._finalize(job)
             except Exception as error:  # noqa: BLE001 - recorded on the job
                 finalize_error = error
+            if telemetry:
+                job.add_phase_seconds("reduce", time.perf_counter() - reduce_start)
         with self._cond:
             if job.state != "running":  # pragma: no cover - cancel race guard
                 return
@@ -478,9 +681,30 @@ class Scheduler:
                 job.state = "completed"
                 job.payload = payload
             job.finished = time.time()
+            if telemetry and (job._phase_seconds or job._spec_telemetry):
+                job.telemetry = {
+                    "phases": {
+                        name: round(value, 6)
+                        for name, value in job._phase_seconds.items()
+                    },
+                    "specs": dict(job._spec_telemetry),
+                }
             job.record_event(job.state)
             job._done.set()
             self._cond.notify_all()
+        if telemetry:
+            if job.state == "completed":
+                _JOBS_COMPLETED.inc()
+            else:
+                _JOBS_FAILED.inc()
+            obs.emit(
+                f"job_{job.state}",
+                job=job.id,
+                kind=job.kind,
+                client=job.client,
+                seconds=round(job.finished - job.submitted, 6),
+                **job.provenance,
+            )
 
     # -- job control ---------------------------------------------------------
     def get(self, job_id: str) -> Job:
@@ -531,6 +755,16 @@ class Scheduler:
             job.record_event("cancelled", detached=released, abandoned=abandoned)
             job._done.set()
             self._cond.notify_all()
+        if obs.enabled():
+            _JOBS_CANCELLED.inc()
+            obs.emit(
+                "job_cancelled",
+                job=job.id,
+                detached=released,
+                abandoned=abandoned,
+            )
+            if abandoned:
+                obs.emit("task_abandoned", job=job.id, tasks=abandoned)
         return True
 
     # -- one-shot + lifecycle -------------------------------------------------
@@ -564,6 +798,7 @@ class Scheduler:
                 "outstanding": dict(self._outstanding),
                 "backend_slots": self._backend.slots,
                 "quota": self.quota,
+                "telemetry": obs.enabled(),
             }
 
     def close(self) -> None:

