@@ -303,6 +303,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(import_parser)
 
+    pack_parser = trace_subparsers.add_parser(
+        "pack",
+        help="re-encode an existing trace file "
+        "(v1 <-> v2 chunked delta/varint, optional gzip)",
+    )
+    pack_parser.add_argument(
+        "trace", help="source: trace workload name (trace:<name>) or a file path"
+    )
+    pack_parser.add_argument(
+        "--version",
+        type=int,
+        choices=(1, 2),
+        default=None,
+        dest="format_version",
+        help="target .rtrc format version (default: 2)",
+    )
+    pack_parser.add_argument(
+        "--name", default=None, help="name for the written trace (sets the file stem)"
+    )
+    pack_parser.add_argument(
+        "--dir",
+        dest="trace_dir",
+        default=None,
+        help="directory to write into (default: the source file's directory)",
+    )
+    pack_parser.add_argument(
+        "--gzip", action="store_true", help="gzip-compress the written file"
+    )
+
     info_parser = trace_subparsers.add_parser(
         "info", help="show a trace file's header, footprint and provenance"
     )
@@ -968,7 +997,7 @@ def _workload_claim(path: Path, name: str) -> str:
 
 
 def _command_trace(args: argparse.Namespace) -> str:
-    """Implement ``repro trace record|import|info|sample``."""
+    """Implement ``repro trace record|import|pack|info|sample``."""
 
     from repro.traces.format import (
         open_trace,
@@ -1033,11 +1062,89 @@ def _command_trace(args: argparse.Namespace) -> str:
             f"({len(imported)} accesses; {_workload_claim(path, imported.name)})"
         )
 
+    if args.trace_command == "pack":
+        from repro.traces.format import FORMAT_VERSION, trace_suffix
+
+        source_path = _resolve_trace_source(args.trace)
+        source_size = source_path.stat().st_size
+        source_digest = trace_file_digest(source_path)
+        trace, header = open_trace(source_path)
+        stem = args.name or trace.name
+        directory = (
+            Path(args.trace_dir) if args.trace_dir else source_path.parent
+        )
+        version = args.format_version or FORMAT_VERSION
+        path = directory / f"{stem}{trace_suffix(args.gzip)}"
+        written = save_trace(trace, path, name=stem, version=version)
+        new_size = written.stat().st_size
+        new_digest = trace_file_digest(written)
+        ratio = source_size / new_size if new_size else 0.0
+        lines = [
+            f"packed {source_path} (v{header.version}, {source_size} bytes) -> "
+            f"{written} (v{version}, {new_size} bytes, {ratio:.1f}x)",
+        ]
+        if new_digest != source_digest:
+            # Results are keyed on file *content*: the re-encoded file is a
+            # new key, so warm-store entries for the old bytes re-execute.
+            lines.append(
+                f"digest:       {source_digest[:16]} -> {new_digest[:16]} "
+                "(content re-keyed; stored results for the old encoding "
+                "will re-execute)"
+            )
+        else:
+            lines.append(f"digest:       {new_digest[:16]} (unchanged)")
+        # Unlike record/import/sample, pack never deletes the other-suffix
+        # spelling — it may be the source file the user is converting from.
+        # Point out the shadowing hazard instead.
+        from repro.traces.format import TRACE_SUFFIXES
+
+        name = written.name
+        for suffix in sorted(TRACE_SUFFIXES, key=len, reverse=True):
+            if name.endswith(suffix):
+                stem_only = name[: -len(suffix)]
+                for other in TRACE_SUFFIXES:
+                    sibling = written.with_name(stem_only + other)
+                    if other != suffix and sibling.is_file():
+                        lines.append(
+                            f"note:         {sibling} still exists; "
+                            f"trace:{stem_only} resolves by suffix "
+                            "preference — remove one spelling to avoid "
+                            "shadowing"
+                        )
+                break
+        return "\n".join(lines)
+
     if args.trace_command == "info":
-        from repro.traces.format import TraceFormatError, read_header
+        from repro.traces.format import ChunkedTrace, TraceFormatError, read_header
         from repro.workloads.trace import LINE_SHIFT
 
         path = _resolve_trace_source(args.trace)
+        if args.shards is not None:
+            # The plan needs only the record count: read the bounded header
+            # prefix (gzip files included — no payload decompression) so
+            # planning over a multi-GB capture stays instant.
+            from repro.sim.shard import plan_shards
+
+            if args.shards < 1:
+                raise ValueError(f"--shards must be at least 1, got {args.shards}")
+            header = read_header(path)
+            plan = plan_shards(
+                total_accesses=header.records,
+                warmup_accesses=int(header.records * args.warmup_fraction),
+                shards=args.shards,
+                overlap=args.shard_overlap,
+            )
+            lines = [
+                f"file:         {path} ({path.stat().st_size} bytes"
+                f"{', gzip' if header.compressed else ''})",
+                f"name:         {header.name}",
+                f"format:       .rtrc v{header.version}, line shift "
+                f"{header.line_shift}",
+                f"accesses:     {header.records}",
+                "shard plan:",
+            ]
+            lines.extend(f"  {line}" for line in plan.describe())
+            return "\n".join(lines)
         try:
             trace, header = open_trace(path)
         except TraceFormatError:
@@ -1068,6 +1175,19 @@ def _command_trace(args: argparse.Namespace) -> str:
             f"{', gzip' if header.compressed else ''})",
             f"name:         {trace.name}",
             f"format:       .rtrc v{header.version}, line shift {header.line_shift}",
+        ]
+        if isinstance(trace, ChunkedTrace) and len(trace):
+            payload = trace.payload_bytes
+            per_access = payload / len(trace)
+            ratio = (16 * len(trace)) / payload if payload else 0.0
+            lines += [
+                f"encoding:     {trace.chunk_count} chunk(s) x "
+                f"{trace.chunk_records} records, delta/varint payload "
+                f"{payload} bytes",
+                f"              {per_access:.2f} B/access vs 16 raw "
+                f"({ratio:.1f}x smaller)",
+            ]
+        lines += [
             f"accesses:     {len(trace)}",
             f"writes:       {trace.write_count()}",
             f"unique lines: {unique_lines} "
@@ -1084,19 +1204,6 @@ def _command_trace(args: argparse.Namespace) -> str:
         generator = trace.metadata.get("generator")
         if generator:
             lines.append(f"generator:    {generator}")
-        if args.shards is not None:
-            from repro.sim.shard import plan_shards
-
-            if args.shards < 1:
-                raise ValueError(f"--shards must be at least 1, got {args.shards}")
-            plan = plan_shards(
-                total_accesses=len(trace),
-                warmup_accesses=int(len(trace) * args.warmup_fraction),
-                shards=args.shards,
-                overlap=args.shard_overlap,
-            )
-            lines.append("shard plan:")
-            lines.extend(f"  {line}" for line in plan.describe())
         return "\n".join(lines)
 
     # -- sample ------------------------------------------------------------

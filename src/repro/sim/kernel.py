@@ -264,9 +264,16 @@ def run_fast(
     # The timing accumulators live in locals and are flushed back at every
     # point the shared objects become observable (_begin_sampling reads
     # timing.cycles; _finalise reads both): identical arithmetic, identical
-    # order, no attribute traffic per access.
-    cycles = timing.cycles
-    timing_accesses = timing.accesses
+    # order, no attribute traffic per access.  The hierarchy's per-access
+    # stall bookkeeping is batched the same way: ``demand_count`` and
+    # ``stall_cycles`` mirror ``hstats.demand_accesses`` /
+    # ``hstats.late_prefetch_stall_cycles`` and are written back (then
+    # reloaded) around the only operations that touch those fields on the
+    # shared object — ``demand_after_l1_miss`` (L2-hit late-prefetch stall)
+    # and the layered ``demand_access`` fallback — and at phase boundaries.
+    cycles, timing_accesses = timing.checkpoint()
+    demand_count = hstats.demand_accesses
+    stall_cycles = hstats.late_prefetch_stall_cycles
 
     warmed = 0
     sampling = False
@@ -286,9 +293,14 @@ def run_fast(
         if warmed < warmup_accesses:
             warmed += 1
         elif not sampling:
-            timing.cycles = cycles
-            timing.accesses = timing_accesses
+            timing.flush(cycles, timing_accesses)
+            hstats.demand_accesses = demand_count
+            hstats.late_prefetch_stall_cycles = stall_cycles
             simulator._begin_sampling()
+            # _begin_sampling reset the hierarchy counters: reload the
+            # batched locals from the (now zeroed) shared fields.
+            demand_count = hstats.demand_accesses
+            stall_cycles = hstats.late_prefetch_stall_cycles
             sampling = True
             target_stats = stats
             target_hits = level_hits
@@ -304,7 +316,7 @@ def run_fast(
 
         # -- demand access (L1-hit path inlined) ---------------------------
         now = cycles
-        hstats.demand_accesses += 1
+        demand_count += 1
         line = address & line_mask
         hit_way = None
         if l1_set_mask is not None:
@@ -317,7 +329,12 @@ def run_fast(
             hit_way = l1_tag_maps[set_index].get(tag)
             if hit_way is None:
                 l1_stats.misses += 1
+                # demand_after_l1_miss adds any L2-hit late-prefetch stall
+                # straight onto the shared field: sync the batched local
+                # around the call.
+                hstats.late_prefetch_stall_cycles = stall_cycles
                 demand_after_l1_miss(line, pc, bool(is_write), now, result)
+                stall_cycles = hstats.late_prefetch_stall_cycles
             else:
                 l1_stats.hits += 1
                 cache_line = l1_sets[set_index][hit_way]
@@ -332,7 +349,7 @@ def run_fast(
                 stall = cache_line.ready_cycle - now
                 if stall < 0.0:
                     stall = 0.0
-                hstats.late_prefetch_stall_cycles += stall
+                stall_cycles += stall
                 result.level = "l1"
                 result.latency = l1_latency + stall
                 result.line_address = line
@@ -343,9 +360,14 @@ def run_fast(
         else:
             # Non-power-of-two geometry: take the layered path wholesale
             # (demand_access re-charges the hierarchy counter, so undo the
-            # increment above).
-            hstats.demand_accesses -= 1
+            # increment above, flush both batched locals, and reload them
+            # after the call — demand_access touches both shared fields).
+            demand_count -= 1
+            hstats.demand_accesses = demand_count
+            hstats.late_prefetch_stall_cycles = stall_cycles
             demand_access(pc, address, bool(is_write), now, result)
+            demand_count = hstats.demand_accesses
+            stall_cycles = hstats.late_prefetch_stall_cycles
 
         level = result.level
         if hit_way is not None:
@@ -398,8 +420,9 @@ def run_fast(
                     target_stats.temporal_prefetches_issued += 1
                     source_map[decision.address] = "temporal"
 
-    timing.cycles = cycles
-    timing.accesses = timing_accesses
+    timing.flush(cycles, timing_accesses)
+    hstats.demand_accesses = demand_count
+    hstats.late_prefetch_stall_cycles = stall_cycles
     if not sampling:
         # Warm-up consumed the whole trace: reset the counters anyway so
         # the (empty) sample reports zeros rather than warm-up activity.
@@ -472,21 +495,36 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
 
     from repro.sim.shard import ShardOutcome
 
-    columns = access_columns(trace)
-    if window.window_stop > columns.length:
-        raise ValueError(
-            f"shard window [{window.window_start}:{window.window_stop}) "
-            f"exceeds the trace length {columns.length}"
-        )
-    # Zero-copy view of this shard's replay range: buffer-backed columns
-    # (arrays, the mmap-backed trace path) share storage, so K workers
-    # slicing one trace never multiply its resident size.
-    from repro.sim.stream import slice_columns
-
     offset = window.prefix_start
-    pcs, addresses, writes, _length = slice_columns(
-        columns, offset, window.window_stop
-    )
+    window_getter = getattr(trace, "window_columns", None)
+    if window_getter is not None:
+        # Chunk-selective path: a v2 ChunkedTrace serves the replay range
+        # ``[prefix_start, window_stop)`` by decoding only the chunks that
+        # range covers — a shard never pays for records outside its window.
+        length = len(trace)
+        if window.window_stop > length:
+            raise ValueError(
+                f"shard window [{window.window_start}:{window.window_stop}) "
+                f"exceeds the trace length {length}"
+            )
+        pcs, addresses, writes, _length = window_getter(
+            offset, window.window_stop
+        )
+    else:
+        columns = access_columns(trace)
+        if window.window_stop > columns.length:
+            raise ValueError(
+                f"shard window [{window.window_start}:{window.window_stop}) "
+                f"exceeds the trace length {columns.length}"
+            )
+        # Zero-copy view of this shard's replay range: buffer-backed columns
+        # (arrays, the mmap-backed trace path) share storage, so K workers
+        # slicing one trace never multiply its resident size.
+        from repro.sim.stream import slice_columns
+
+        pcs, addresses, writes, _length = slice_columns(
+            columns, offset, window.window_stop
+        )
 
     hierarchy = simulator.hierarchy
     timing = simulator.timing
@@ -529,8 +567,12 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
     level_hits = stats.level_hits
     discard_hits = discard_stats.level_hits
 
-    cycles = timing.cycles
-    timing_accesses = timing.accesses
+    # Batched accumulators, same contract as run_fast: locals carry the
+    # authoritative totals, the shared objects are synced at phase
+    # boundaries and around the two hierarchy calls that touch them.
+    cycles, timing_accesses = timing.checkpoint()
+    demand_count = hstats.demand_accesses
+    stall_cycles = hstats.late_prefetch_stall_cycles
 
     sample_begin = window.sample_begin
     window_start = window.window_start
@@ -539,7 +581,7 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
     windowed = False
     clock_sample_start = cycles
     clock_window_start = cycles
-    stall_window_start = hstats.late_prefetch_stall_cycles
+    stall_window_start = stall_cycles
     counter_base = None
     target_stats = discard_stats
     target_hits = discard_hits
@@ -556,15 +598,18 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
         if not sampling and index >= sample_begin:
             # The sampling-boundary flush, at the sequential kernel's exact
             # index: locals become observable, every counter resets.
-            timing.cycles = cycles
-            timing.accesses = timing_accesses
+            timing.flush(cycles, timing_accesses)
+            hstats.demand_accesses = demand_count
+            hstats.late_prefetch_stall_cycles = stall_cycles
             simulator._begin_sampling()
+            demand_count = hstats.demand_accesses
+            stall_cycles = hstats.late_prefetch_stall_cycles
             sampling = True
             clock_sample_start = simulator._cycles_at_sample_start
         if not windowed and index >= window_start:
             counter_base = _window_counter_base(hierarchy, prefetchers)
             clock_window_start = cycles
-            stall_window_start = hstats.late_prefetch_stall_cycles
+            stall_window_start = stall_cycles
             windowed = True
             target_stats = stats
             target_hits = level_hits
@@ -579,7 +624,7 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
 
         # -- demand access (L1-hit path inlined) ---------------------------
         now = cycles
-        hstats.demand_accesses += 1
+        demand_count += 1
         line = address & line_mask
         hit_way = None
         if l1_set_mask is not None:
@@ -592,7 +637,9 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
             hit_way = l1_tag_maps[set_index].get(tag)
             if hit_way is None:
                 l1_stats.misses += 1
+                hstats.late_prefetch_stall_cycles = stall_cycles
                 demand_after_l1_miss(line, pc, bool(is_write), now, result)
+                stall_cycles = hstats.late_prefetch_stall_cycles
             else:
                 l1_stats.hits += 1
                 cache_line = l1_sets[set_index][hit_way]
@@ -607,7 +654,7 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
                 stall = cache_line.ready_cycle - now
                 if stall < 0.0:
                     stall = 0.0
-                hstats.late_prefetch_stall_cycles += stall
+                stall_cycles += stall
                 result.level = "l1"
                 result.latency = l1_latency + stall
                 result.line_address = line
@@ -616,8 +663,12 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
                 result.l1_prefetch_first_use = first_use
                 result.late_prefetch_stall = stall
         else:
-            hstats.demand_accesses -= 1
+            demand_count -= 1
+            hstats.demand_accesses = demand_count
+            hstats.late_prefetch_stall_cycles = stall_cycles
             demand_access(pc, address, bool(is_write), now, result)
+            demand_count = hstats.demand_accesses
+            stall_cycles = hstats.late_prefetch_stall_cycles
 
         level = result.level
         if hit_way is not None:
@@ -668,8 +719,9 @@ def run_fast_window(simulator, trace, window, workload_name: str = ""):
                     target_stats.temporal_prefetches_issued += 1
                     source_map[decision.address] = "temporal"
 
-    timing.cycles = cycles
-    timing.accesses = timing_accesses
+    timing.flush(cycles, timing_accesses)
+    hstats.demand_accesses = demand_count
+    hstats.late_prefetch_stall_cycles = stall_cycles
     if not sampling:
         # Degenerate empty window at the trace tail: flush anyway so the
         # zero statistics are reported against a consistent boundary.

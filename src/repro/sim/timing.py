@@ -81,6 +81,27 @@ class TimingModel:
         self.accesses += 1
         return cost
 
+    # -- batched accounting (the fast kernels) -----------------------------
+    #
+    # The fused kernels accumulate the clock and access count in plain
+    # locals and make them observable only at phase boundaries (sampling
+    # start, finalisation) — the same arithmetic in the same order, with the
+    # per-access attribute traffic removed.  ``checkpoint`` hands a kernel
+    # the current totals to continue from; ``flush`` writes the kernel's
+    # totals back.  Flushing is *assignment*, not addition: the locals carry
+    # the authoritative running totals between checkpoints.
+
+    def checkpoint(self) -> tuple[float, int]:
+        """The ``(cycles, accesses)`` totals a batched kernel resumes from."""
+
+        return self.cycles, self.accesses
+
+    def flush(self, cycles: float, accesses: int) -> None:
+        """Make a batched kernel's running totals observable on the model."""
+
+        self.cycles = cycles
+        self.accesses = accesses
+
     @property
     def cycles_per_access(self) -> float:
         return self.cycles / self.accesses if self.accesses else 0.0

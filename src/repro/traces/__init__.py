@@ -3,10 +3,13 @@
 This package makes access streams first-class on-disk workloads, sitting
 between workload generation and the experiment executor:
 
-* :mod:`repro.traces.format` — the versioned ``.rtrc`` packed binary
-  container (optionally gzipped) and the array-backed
-  :class:`~repro.traces.format.PackedTrace` that replays it through the
-  simulator without materialising per-access objects;
+* :mod:`repro.traces.format` — the versioned ``.rtrc`` binary container
+  (optionally gzipped): v1 stores raw packed columns replayed zero-copy by
+  the array-backed :class:`~repro.traces.format.PackedTrace`; v2 (the
+  write default) stores delta/varint-compressed fixed-size chunks behind a
+  footer index, replayed by the lazily decoding
+  :class:`~repro.traces.format.ChunkedTrace` which touches only the chunks
+  a window needs;
 * :mod:`repro.traces.champsim` — an importer for ChampSim-style LS text
   traces, so any published trace becomes a workload;
 * :mod:`repro.traces.recorder` — capture any registered generator's stream
@@ -24,9 +27,12 @@ trace`` CLI (``record``/``import``/``info``/``sample``) fronts all of this;
 
 from repro.traces.champsim import ChampSimParseError, import_champsim_trace
 from repro.traces.format import (
+    CHUNK_RECORDS,
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_VERSIONS,
     TRACE_SUFFIXES,
+    ChunkedTrace,
     PackedTrace,
     TraceFormatError,
     TraceHeader,
@@ -41,10 +47,13 @@ from repro.traces.recorder import record_trace, record_workload
 from repro.traces.samplers import sample_systematic, sample_window
 
 __all__ = [
+    "CHUNK_RECORDS",
     "FORMAT_VERSION",
     "MAGIC",
+    "SUPPORTED_VERSIONS",
     "TRACE_SUFFIXES",
     "ChampSimParseError",
+    "ChunkedTrace",
     "PackedTrace",
     "TraceFormatError",
     "TraceHeader",

@@ -24,9 +24,10 @@ compressed.
 
 The importer returns a :class:`~repro.traces.format.PackedTrace` (columns,
 not objects), so even multi-million-access files import in bounded memory;
-:func:`~repro.traces.format.save_trace` then persists it as ``.rtrc``, after
-which the file is a first-class workload name (``trace:<name>``) anywhere a
-generated workload is accepted.
+:func:`~repro.traces.format.save_trace` then persists it as ``.rtrc`` —
+chunked delta/varint v2 by default, many times smaller than the text dump —
+after which the file is a first-class workload name (``trace:<name>``)
+anywhere a generated workload is accepted.
 """
 
 from __future__ import annotations

@@ -27,10 +27,19 @@ from repro.traces.format import (
 )
 
 
-def record_trace(trace, path: str | Path, name: str | None = None) -> Path:
-    """Capture any live trace-like object to ``path`` (thin save wrapper)."""
+def record_trace(
+    trace,
+    path: str | Path,
+    name: str | None = None,
+    version: int | None = None,
+) -> Path:
+    """Capture any live trace-like object to ``path`` (thin save wrapper).
 
-    return save_trace(trace, path, name=name)
+    ``version`` selects the on-disk ``.rtrc`` format (``None`` means the
+    library default — chunked delta/varint v2).
+    """
+
+    return save_trace(trace, path, name=name, version=version)
 
 
 def record_workload(
@@ -39,6 +48,7 @@ def record_workload(
     name: str | None = None,
     compress: bool = False,
     overrides: Mapping | None = None,
+    version: int | None = None,
 ) -> Path:
     """Generate a registered workload and save its stream under ``directory``.
 
@@ -46,8 +56,9 @@ def record_workload(
     writes ``d/mcf.rtrc`` and ``trace:mcf`` resolves to it when ``d`` is on
     the trace search path).  ``overrides`` are forwarded to the generator
     exactly as :func:`~repro.workloads.registry.generate_workload` would
-    (``length``, ``seed``, ...), and are recorded as provenance.  Returns
-    the path written.
+    (``length``, ``seed``, ...), and are recorded as provenance.
+    ``version`` picks the container format (default: v2 chunked
+    delta/varint).  Returns the path written.
     """
 
     from repro.workloads.registry import TRACE_PREFIX, generate_workload
@@ -83,7 +94,7 @@ def record_workload(
         "accesses": len(packed),
     }
     path = Path(directory) / f"{packed.name}{trace_suffix(compress)}"
-    save_trace(packed, path)
+    save_trace(packed, path, version=version)
     # A leftover opposite-compression spelling would shadow (or be
     # shadowed by) the file just written under the same workload name.
     remove_stale_sibling(path)

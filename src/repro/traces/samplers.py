@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from array import array
 
-from repro.traces.format import PackedTrace, _pack_bits, pack_trace
+from repro.traces.format import ChunkedTrace, PackedTrace, _pack_bits, pack_trace
 
 
 def _provenance(packed: PackedTrace, source, description: dict) -> PackedTrace:
@@ -51,9 +51,17 @@ def sample_window(trace, start: int, length: int, name: str | None = None) -> Pa
         raise ValueError(
             f"window start {start} outside trace of {len(trace)} accesses"
         )
-    packed = pack_trace(trace)
-    window = packed.slice(start, start + length)
-    window.name = name or f"{packed.name}@{start}+{len(window)}"
+    if isinstance(trace, ChunkedTrace):
+        # Chunk-selective path: ``ChunkedTrace.slice`` decodes only the
+        # chunks the window covers, so sampling a narrow region of a large
+        # v2 capture never materialises the full columns.
+        source_name = trace.name
+        window = trace.slice(start, start + length)
+    else:
+        packed = pack_trace(trace)
+        source_name = packed.name
+        window = packed.slice(start, start + length)
+    window.name = name or f"{source_name}@{start}+{len(window)}"
     return _provenance(
         window,
         trace,

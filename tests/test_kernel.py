@@ -87,6 +87,40 @@ class TestParityMatrix:
         reference, fast = both_kernels(spec)
         assert asdict(reference) == asdict(fast)
 
+    @pytest.mark.parametrize("workload", ["xalan", "graph500_s16"])
+    @pytest.mark.parametrize("configuration", ["triangel", "triage", "baseline"])
+    def test_batched_counters_flush_identically(self, configuration, workload):
+        """The accumulator-batched shared counters land exactly where the
+        reference engine's per-access bookkeeping leaves them.
+
+        The fast kernels batch ``hstats.demand_accesses``,
+        ``hstats.late_prefetch_stall_cycles``, the timing clock and the
+        DRAM event counters into locals/slots flushed at phase boundaries;
+        this asserts the *flushed shared objects themselves* — not just the
+        derived SimulationStats — are bit-identical after a run, on both a
+        prefetch-heavy and a write-bearing stream."""
+
+        sizing = (
+            {"max_accesses": 1500} if workload.startswith("graph500")
+            else {"length": 1500}
+        )
+        trace = generate_workload(workload, **sizing)
+        snapshots = {}
+        for kernel in ("reference", "fast"):
+            simulator = build_simulator(configuration)
+            run_simulation(
+                simulator, trace, kernel=kernel, warmup_accesses=400
+            )
+            hierarchy = simulator.hierarchy
+            snapshots[kernel] = (
+                hierarchy.stats.demand_accesses,
+                hierarchy.stats.late_prefetch_stall_cycles,
+                asdict(hierarchy.dram.stats),
+                simulator.timing.cycles,
+                simulator.timing.accesses,
+            )
+        assert snapshots["reference"] == snapshots["fast"]
+
     @pytest.mark.parametrize("max_entries", [None, 96])
     def test_parameterised_variants(self, max_entries):
         runner = quick_runner()

@@ -455,7 +455,13 @@ class TestShardedTraceReplay:
             directory=tmp_path,
             overrides={"nodes": 32, "repeats": 60},
         )
-        assert isinstance(load_trace(path)._pcs, memoryview)  # mmap-backed
+        # v2 is the recorder default: the on-disk trace loads as a lazily
+        # decoded ChunkedTrace (no chunk touched until replay needs it).
+        from repro.traces.format import ChunkedTrace
+
+        loaded = load_trace(path)
+        assert isinstance(loaded, ChunkedTrace)
+        assert loaded.chunks_decoded == 0
         sequential = asdict(
             runner(trace_overrides={}).run("trace:pointer_chase", "triangel")
         )
